@@ -1,0 +1,200 @@
+package gptpu
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// Config selects the machine and runtime configuration. The zero
+// value means: one Edge TPU, functional execution, all runtime
+// optimizations enabled.
+type Config struct {
+	// Devices is the number of attached Edge TPUs (1-8 on the paper's
+	// prototype). 0 means 1.
+	Devices int
+	// TimingOnly disables functional execution: operators charge
+	// virtual time but return zero results. Used for paper-scale
+	// performance sweeps.
+	TimingOnly bool
+	// DisableLocality turns off the section 6.1 affinity rule
+	// (ablation).
+	DisableLocality bool
+	// UseTFLiteCompiler charges the slow Python TFLite model-creation
+	// path instead of the Tensorizer's (ablation, section 6.2.3).
+	UseTFLiteCompiler bool
+	// OnDeviceReduce aggregates matrix-wise operators on-device
+	// instead of on the CPU (ablation, section 6.2.1).
+	OnDeviceReduce bool
+	// Sampled selects sampling-based range calibration.
+	Sampled bool
+	// Params overrides the calibrated cost model (nil = default).
+	Params *timing.Params
+}
+
+// Context is an open GPTPU machine: the programming-interface entry
+// point. All methods are safe for concurrent use.
+type Context struct {
+	c *core.Context
+}
+
+// Open initializes the GPTPU runtime over the configured number of
+// simulated Edge TPUs.
+func Open(cfg Config) *Context {
+	o := core.DefaultOptions()
+	if cfg.Devices > 0 {
+		o.Devices = cfg.Devices
+	}
+	o.Functional = !cfg.TimingOnly
+	o.LocalityScheduling = !cfg.DisableLocality
+	o.FastModelPath = !cfg.UseTFLiteCompiler
+	o.OnDeviceReduce = cfg.OnDeviceReduce
+	if cfg.Sampled {
+		o.QuantMethod = quant.MethodSampled
+	}
+	o.Params = cfg.Params
+	return &Context{c: core.NewContext(o)}
+}
+
+// Core exposes the underlying runtime for benchmarks and tests that
+// need device-pool or timeline access.
+func (x *Context) Core() *core.Context { return x.c }
+
+// Dimension describes the dimensionality of buffer data
+// (openctpu_alloc_dimension). Only 1- and 2-dimensional data is
+// supported, matching the operators of Table 1.
+type Dimension struct {
+	Rows, Cols int
+}
+
+// AllocDimension allocates a dimension descriptor: AllocDimension(1,
+// n) describes a vector, AllocDimension(2, rows, cols) a matrix.
+func AllocDimension(dims int, sizes ...int) *Dimension {
+	switch dims {
+	case 1:
+		if len(sizes) != 1 {
+			panic(fmt.Sprintf("gptpu: AllocDimension(1) needs 1 size, got %d", len(sizes)))
+		}
+		return &Dimension{Rows: 1, Cols: sizes[0]}
+	case 2:
+		if len(sizes) != 2 {
+			panic(fmt.Sprintf("gptpu: AllocDimension(2) needs 2 sizes, got %d", len(sizes)))
+		}
+		return &Dimension{Rows: sizes[0], Cols: sizes[1]}
+	default:
+		panic(fmt.Sprintf("gptpu: unsupported dimensionality %d", dims))
+	}
+}
+
+// Buffer is an openctpu buffer bound to host raw data.
+type Buffer = core.Buffer
+
+// CreateBuffer creates an input/output buffer for TPU kernels over
+// the raw data (openctpu_create_buffer). The data is wrapped, not
+// copied; it must hold at least Rows*Cols elements.
+func (x *Context) CreateBuffer(d *Dimension, data []float32) *Buffer {
+	return x.c.NewBuffer(tensor.FromSlice(d.Rows, d.Cols, data))
+}
+
+// CreateMatrixBuffer creates a buffer directly over a matrix.
+func (x *Context) CreateMatrixBuffer(m *tensor.Matrix) *Buffer {
+	return x.c.NewBuffer(m)
+}
+
+// InvalidateBuffer drops cached device state after the host mutated
+// the buffer's raw data.
+func (x *Context) InvalidateBuffer(b *Buffer) { x.c.Invalidate(b) }
+
+// Op is the operator-invocation handle passed to kernel functions: the
+// typed equivalent of openctpu_invoke_operator. Operators on one Op
+// execute serially; separate tasks execute in parallel.
+type Op struct {
+	s *core.Stream
+}
+
+// Err returns the first operator error on this handle.
+func (o *Op) Err() error { return o.s.Err() }
+
+// Gemm invokes tpuGemm, the optimized conv2D-based GEMM library
+// function of section 7.1 (GPTPU's cublasGemm analogue).
+func (o *Op) Gemm(a, b *Buffer) *tensor.Matrix { return o.s.MatMul(a, b) }
+
+// GemmFC is the FullyConnected-based GEMM of section 7.1.1 (slower;
+// kept for the Figure 6 comparison).
+func (o *Op) GemmFC(a, b *Buffer) *tensor.Matrix { return o.s.MatMulFC(a, b) }
+
+// GemmPrecise is the dual-portion high-precision GEMM (~16-bit
+// effective input precision at ~3x the device passes), the explicit
+// accuracy/latency trade of the paper's section 10 discussion.
+func (o *Op) GemmPrecise(a, b *Buffer) *tensor.Matrix { return o.s.MatMulPrecise(a, b) }
+
+// MatVec multiplies a matrix by a vector with FullyConnected.
+func (o *Op) MatVec(a *Buffer, x []float32) []float32 { return o.s.MatVec(a, x) }
+
+// Add performs pair-wise addition.
+func (o *Op) Add(a, b *Buffer) *tensor.Matrix { return o.s.Add(a, b) }
+
+// Sub performs pair-wise subtraction.
+func (o *Op) Sub(a, b *Buffer) *tensor.Matrix { return o.s.Sub(a, b) }
+
+// Mul performs pair-wise multiplication.
+func (o *Op) Mul(a, b *Buffer) *tensor.Matrix { return o.s.MulPair(a, b) }
+
+// Conv2D convolves the input with a kernel (stride 1, zero padding).
+func (o *Op) Conv2D(a, kernel *Buffer) *tensor.Matrix { return o.s.Conv2D(a, kernel) }
+
+// Conv2DStrided convolves with an explicit stride: the Figure 5
+// grouping semantics that tpuGemm builds on, producing the condensed
+// ceil(R/sr) x ceil(C/sc) output.
+func (o *Op) Conv2DStrided(a, kernel *Buffer, strideR, strideC int) *tensor.Matrix {
+	return o.s.Conv2DStrided(a, kernel, strideR, strideC)
+}
+
+// Tanh applies tanh element-wise.
+func (o *Op) Tanh(a *Buffer) *tensor.Matrix { return o.s.Tanh(a) }
+
+// ReLU applies ReLU element-wise.
+func (o *Op) ReLU(a *Buffer) *tensor.Matrix { return o.s.ReLU(a) }
+
+// Mean reduces the matrix to its average value.
+func (o *Op) Mean(a *Buffer) float32 { return o.s.Mean(a) }
+
+// Max reduces the matrix to its maximum value.
+func (o *Op) Max(a *Buffer) float32 { return o.s.MaxReduce(a) }
+
+// Crop extracts a sub-matrix.
+func (o *Op) Crop(a *Buffer, r0, c0, rows, cols int) *tensor.Matrix {
+	return o.s.Crop(a, r0, c0, rows, cols)
+}
+
+// Ext zero-pads to the target dimensionality.
+func (o *Op) Ext(a *Buffer, rows, cols int) *tensor.Matrix { return o.s.Ext(a, rows, cols) }
+
+// Task is an enqueued kernel instance (openctpu_enqueue's return).
+type Task = core.Task
+
+// Enqueue submits a kernel function as a TPU task; tasks run out of
+// order in parallel.
+func (x *Context) Enqueue(kernel func(op *Op)) *Task {
+	return x.c.Enqueue(func(s *core.Stream) { kernel(&Op{s: s}) })
+}
+
+// Sync blocks until all enqueued tasks complete (openctpu_sync).
+func (x *Context) Sync() error { return x.c.Sync() }
+
+// NewOp opens a serial operator chain outside any task, for
+// straight-line host code.
+func (x *Context) NewOp() *Op { return &Op{s: x.c.NewStream()} }
+
+// Elapsed returns the virtual time consumed so far.
+func (x *Context) Elapsed() timing.Duration { return x.c.Elapsed() }
+
+// Energy returns the platform energy accounting so far.
+func (x *Context) Energy() energy.Report { return x.c.Energy() }
+
+// Reset rewinds virtual time and scheduler state.
+func (x *Context) Reset() { x.c.Reset() }

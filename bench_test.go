@@ -1,0 +1,296 @@
+package gptpu
+
+// Benchmark harness: wall-clock microbenchmarks of the library's hot
+// paths and ablation benchmarks for the design decisions DESIGN.md
+// calls out. The one-benchmark-per-paper-table/figure harness lives in
+// internal/bench (it drives this package, so it cannot be benchmarked
+// from inside it). Run everything with:
+//
+//	go test -bench=. -benchmem ./...
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/edgetpu"
+	"repro/internal/isa"
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Wall-clock microbenchmarks of the library's hot paths.
+
+// BenchmarkTensorizerEncode measures the real (wall-clock) throughput
+// of the reverse-engineered model codec — the fast path behind the
+// paper's 1500x compile-speedup claim.
+func BenchmarkTensorizerEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.RandUniform(rng, 2048, 2048, -10, 10)
+	p := quant.ParamsFor(m)
+	b.SetBytes(2048 * 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod := model.FromMatrix(m, 128, p)
+		buf := mod.Encode()
+		_ = buf
+	}
+}
+
+// BenchmarkModelDecode measures the codec's parse path.
+func BenchmarkModelDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := tensor.RandUniform(rng, 1024, 1024, -10, 10)
+	buf := model.FromMatrix(m, 128, quant.ParamsFor(m)).Encode()
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuantize measures host-side int8 quantization throughput.
+func BenchmarkQuantize(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := tensor.RandUniform(rng, 1024, 1024, -100, 100)
+	p := quant.ParamsFor(m)
+	b.SetBytes(1024 * 1024 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quant.QuantizeWith(m, p)
+	}
+}
+
+// BenchmarkFunctionalGemm measures the bit-exact device-simulated
+// tpuGemm (functional mode) end to end.
+func BenchmarkFunctionalGemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := tensor.RandUniform(rng, 256, 256, -4, 4)
+	bb := tensor.RandUniform(rng, 256, 256, -4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := Open(Config{})
+		op := ctx.NewOp()
+		op.Gemm(ctx.CreateMatrixBuffer(a), ctx.CreateMatrixBuffer(bb))
+		if op.Err() != nil {
+			b.Fatal(op.Err())
+		}
+	}
+}
+
+// BenchmarkCPUBlockedGemm measures the float32 baseline kernel.
+func BenchmarkCPUBlockedGemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := tensor.RandUniform(rng, 256, 256, -4, 4)
+	bb := tensor.RandUniform(rng, 256, 256, -4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blas.Gemm(a, bb)
+	}
+}
+
+// BenchmarkFBGEMMInt8 measures the saturating int8 baseline kernel.
+func BenchmarkFBGEMMInt8(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	a := tensor.RandPositiveInts(rng, 256, 256, 32)
+	bb := tensor.RandPositiveInts(rng, 256, 256, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blas.Int8Gemm(a, bb)
+	}
+}
+
+// BenchmarkSchedulerDispatch measures IQ dispatch throughput
+// (timing-only instructions through the full scheduler pipeline).
+func BenchmarkSchedulerDispatch(b *testing.B) {
+	a := tensor.ShapeOnly(4096, 4096)
+	bb := tensor.ShapeOnly(4096, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := Open(Config{TimingOnly: true, Devices: 8})
+		op := ctx.NewOp()
+		op.Add(ctx.CreateMatrixBuffer(a), ctx.CreateMatrixBuffer(bb)) // 1024 tile instructions
+		if op.Err() != nil {
+			b.Fatal(op.Err())
+		}
+	}
+}
+
+// Ablation benchmarks: virtual-time impact of the design decisions.
+
+func reportVirtual(b *testing.B, run func() float64) {
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = run()
+	}
+	b.ReportMetric(v, "virtual-sec")
+}
+
+// BenchmarkAblationScheduler compares locality-aware placement (the
+// section 6.1 rule) with pure FCFS on an iterative workload.
+func BenchmarkAblationScheduler(b *testing.B) {
+	a := tensor.ShapeOnly(2048, 2048)
+	x := make([]float32, 2048)
+	for _, locality := range []bool{true, false} {
+		name := "locality"
+		if !locality {
+			name = "fcfs"
+		}
+		b.Run(name, func(b *testing.B) {
+			reportVirtual(b, func() float64 {
+				ctx := Open(Config{TimingOnly: true, Devices: 4, DisableLocality: !locality})
+				ba := ctx.CreateMatrixBuffer(a)
+				op := ctx.NewOp()
+				for it := 0; it < 10; it++ {
+					op.MatVec(ba, x)
+				}
+				return ctx.Elapsed().Seconds()
+			})
+		})
+	}
+}
+
+// BenchmarkAblationCompilerPath compares the Tensorizer's fast model
+// encoding with the Python TFLite compiler path (section 6.2.3).
+func BenchmarkAblationCompilerPath(b *testing.B) {
+	a := tensor.ShapeOnly(1024, 1024)
+	for _, fast := range []bool{true, false} {
+		name := "tensorizer"
+		if !fast {
+			name = "tflite"
+		}
+		b.Run(name, func(b *testing.B) {
+			reportVirtual(b, func() float64 {
+				ctx := Open(Config{TimingOnly: true, UseTFLiteCompiler: !fast})
+				op := ctx.NewOp()
+				op.Gemm(ctx.CreateMatrixBuffer(a), ctx.CreateMatrixBuffer(a))
+				return ctx.Elapsed().Seconds()
+			})
+		})
+	}
+}
+
+// BenchmarkAblationReduce compares CPU-side aggregation of matrix-wise
+// operators with the on-device iterative alternative the paper
+// rejects (section 6.2.1).
+func BenchmarkAblationReduce(b *testing.B) {
+	a := tensor.ShapeOnly(4096, 4096)
+	for _, onDevice := range []bool{false, true} {
+		name := "cpu-aggregate"
+		if onDevice {
+			name = "on-device"
+		}
+		b.Run(name, func(b *testing.B) {
+			reportVirtual(b, func() float64 {
+				ctx := Open(Config{TimingOnly: true, OnDeviceReduce: onDevice})
+				op := ctx.NewOp()
+				op.Mean(ctx.CreateMatrixBuffer(a))
+				return ctx.Elapsed().Seconds()
+			})
+		})
+	}
+}
+
+// BenchmarkAblationScaleRules compares the exactness-preserving
+// calibration against naive range scaling on an integer dataset
+// (accuracy ablation; reports RMSE as the metric).
+func BenchmarkAblationScaleRules(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := tensor.RandPositiveInts(rng, 128, 128, 64)
+	bb := tensor.RandPositiveInts(rng, 128, 128, 64)
+	ref := blas.NaiveGemm(a, bb)
+	var rmse float64
+	for i := 0; i < b.N; i++ {
+		ctx := Open(Config{})
+		op := ctx.NewOp()
+		got := op.Gemm(ctx.CreateMatrixBuffer(a), ctx.CreateMatrixBuffer(bb))
+		if op.Err() != nil {
+			b.Fatal(op.Err())
+		}
+		rmse = tensor.RMSE(ref, got)
+	}
+	b.ReportMetric(rmse, "rmse")
+}
+
+// BenchmarkInterpreterExecute measures the byte-level instruction VM
+// (packet decode + bit-exact execution + result encode).
+func BenchmarkInterpreterExecute(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	in := tensor.RandUniform(rng, 128, 128, -5, 5)
+	p := quant.ParamsFor(in)
+	mod := model.FromI8(quant.QuantizeWith(in, p), p.Scale)
+	k := tensor.FromSlice(3, 3, []float32{.1, .1, .1, .1, .2, .1, .1, .1, .1})
+	pk := quant.ParamsFor(k)
+	kmod := model.FromI8(quant.QuantizeWith(k, pk), pk.Scale)
+	pkt, err := edgetpu.EncodeInstruction(isa.Conv2D,
+		edgetpu.InstrParams{StrideR: 1, StrideC: 1, RequantDivisor: 256}, mod, kmod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(pkt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (edgetpu.Interpreter{}).Execute(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConv2DStencil measures the functional stencil path end to
+// end (the HotSpot3D inner loop).
+func BenchmarkConv2DStencil(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	a := tensor.RandUniform(rng, 256, 256, 0, 10)
+	k := tensor.FromSlice(3, 3, []float32{.1, .1, .1, .1, .2, .1, .1, .1, .1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := Open(Config{})
+		op := ctx.NewOp()
+		op.Conv2D(ctx.CreateMatrixBuffer(a), ctx.CreateMatrixBuffer(k))
+		if op.Err() != nil {
+			b.Fatal(op.Err())
+		}
+	}
+}
+
+// BenchmarkMatVecIterative measures the PageRank-style iterative
+// MatVec with residency reuse (buffer created once).
+func BenchmarkMatVecIterative(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	a := tensor.RandUniform(rng, 512, 512, 0, 3)
+	x := make([]float32, 512)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := Open(Config{})
+		ba := ctx.CreateMatrixBuffer(a)
+		op := ctx.NewOp()
+		for it := 0; it < 5; it++ {
+			op.MatVec(ba, x)
+		}
+		if op.Err() != nil {
+			b.Fatal(op.Err())
+		}
+	}
+}
+
+// BenchmarkGemmPrecise measures the dual-portion high-precision GEMM.
+func BenchmarkGemmPrecise(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	a := tensor.RandUniform(rng, 192, 192, -4, 4)
+	bb := tensor.RandUniform(rng, 192, 192, -4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := Open(Config{})
+		op := ctx.NewOp()
+		op.GemmPrecise(ctx.CreateMatrixBuffer(a), ctx.CreateMatrixBuffer(bb))
+		if op.Err() != nil {
+			b.Fatal(op.Err())
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command gptpu-bench regenerates the paper's evaluation tables and
+// figures on the simulated GPTPU platform.
+//
+// Usage:
+//
+//	gptpu-bench                  # run every experiment (quick scale)
+//	gptpu-bench -full            # paper-scale configurations
+//	gptpu-bench -exp fig7,table5 # selected experiments
+//	gptpu-bench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run paper-scale configurations (slower)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	format := flag.String("format", "text", "output format: text|csv|json")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *exp == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gptpu-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := bench.Opts{Full: *full}
+	mode := "quick"
+	if *full {
+		mode = "full (paper-scale)"
+	}
+	fmt.Printf("GPTPU reproduction harness — %d experiment(s), %s mode\n\n", len(selected), mode)
+	for _, e := range selected {
+		start := time.Now()
+		rep := e.Run(opts)
+		switch *format {
+		case "csv":
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "gptpu-bench:", err)
+				os.Exit(1)
+			}
+		case "json":
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "gptpu-bench:", err)
+				os.Exit(1)
+			}
+		default:
+			rep.Fprint(os.Stdout)
+			fmt.Printf("  [%s regenerated in %v wall time]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

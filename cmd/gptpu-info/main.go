@@ -1,0 +1,50 @@
+// Command gptpu-info prints the simulated platform inventory: the
+// machine topology of paper section 3.1 (up to 8 M.2 Edge TPUs behind
+// quad-device PCIe switch cards), the power model, and the calibrated
+// cost-model constants with their provenance.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"os"
+	"repro/internal/bench"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/pcie"
+	"repro/internal/timing"
+)
+
+func main() {
+	devices := flag.Int("devices", 8, "number of attached Edge TPUs (1-8)")
+	flag.Parse()
+
+	p := timing.Default()
+	fmt.Println("GPTPU simulated platform")
+	fmt.Println("------------------------")
+	fmt.Printf("Host CPU:        AMD Ryzen 3700X model (8 cores, %.0f GFLOP/s OpenBLAS single-core)\n", p.CPU.GemmFlops/1e9)
+	fmt.Printf("Main memory:     %.0f GB/s shared bandwidth model\n", p.CPU.MemBandwidth/1e9)
+	cards := (*devices + pcie.DevicesPerCard - 1) / pcie.DevicesPerCard
+	fmt.Printf("Edge TPUs:       %d x M.2 (PCIe 2.0 x1 each) on %d quad-TPU switch card(s)\n", *devices, cards)
+	fmt.Printf("  on-chip mem:   %d MB per device\n", p.TPUMemBytes>>20)
+	fmt.Printf("  exchange rate: %.0f ms/MB (measured, section 3.2)\n", p.DataExchangeSecPerMB*1e3)
+	fmt.Printf("  matrix unit:   %dx%dx8-bit (mean/max favour %dx%d)\n",
+		isa.ArithTile, isa.ArithTile, isa.ReduceTile, isa.ReduceTile)
+	fmt.Println()
+	fmt.Println("Power model (paper section 8.1 / Table 6)")
+	fmt.Printf("  platform idle:    %.0f W\n", energy.PlatformIdleWatts)
+	fmt.Printf("  loaded CPU core:  %.1f-%.1f W\n", energy.CPUCoreWattsLo, energy.CPUCoreWattsHi)
+	fmt.Printf("  active Edge TPU:  %.1f-%.1f W\n", energy.TPUWattsLo, energy.TPUWattsHi)
+	fmt.Printf("  RTX 2080:         %.0f W   Jetson Nano: %.0f W (idle %.1f W)\n",
+		energy.RTX2080Watts, energy.JetsonNanoWatts, energy.JetsonIdleWatts)
+	fmt.Println()
+	fmt.Println("Instruction cost table (calibrated to Table 1)")
+	fmt.Printf("  %-15s %12s %14s %12s\n", "operator", "OPS(paper)", "overhead", "sustained")
+	for _, op := range isa.AllOps() {
+		oc := p.Op[op]
+		fmt.Printf("  %-15s %12.2f %14v %9.2f G/s\n", op.String(), oc.PaperOPS, oc.Overhead, oc.MACRate/1e9)
+	}
+	fmt.Println()
+	bench.Table6(bench.Opts{}).Fprint(os.Stdout)
+}

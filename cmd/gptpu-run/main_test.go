@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	gptpu "repro"
+)
+
+func TestRunDispatchesEveryApp(t *testing.T) {
+	for _, app := range []string{"gemm", "pagerank", "hotspot3d", "lud", "gaussian", "backprop", "blackscholes"} {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			ctx := gptpu.Open(gptpu.Config{Devices: 2, TimingOnly: true})
+			n := 256
+			if app == "blackscholes" {
+				n = 1 << 14
+			}
+			tpu, cpu, err := run(app, ctx, n, 3, 1, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tpu.Elapsed <= 0 || cpu.Elapsed <= 0 {
+				t.Fatalf("no time charged: tpu=%v cpu=%v", tpu.Elapsed, cpu.Elapsed)
+			}
+		})
+	}
+}
+
+func TestRunFunctionalPath(t *testing.T) {
+	ctx := gptpu.Open(gptpu.Config{Devices: 1})
+	tpu, cpu, err := run("gemm", ctx, 128, 1, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpu.Elapsed <= 0 || cpu.Elapsed <= 0 {
+		t.Fatal("functional run charged no time")
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	ctx := gptpu.Open(gptpu.Config{TimingOnly: true})
+	if _, _, err := run("nope", ctx, 16, 1, 1, false); err == nil {
+		t.Fatal("unknown app must error")
+	}
+}

@@ -1,0 +1,76 @@
+package gptpu_test
+
+import (
+	"fmt"
+
+	gptpu "repro"
+	"repro/internal/tensor"
+)
+
+// The paper's Figure 3 workflow: describe dimensions, bind buffers,
+// enqueue a kernel, synchronize.
+func Example() {
+	const n = 4
+	a := []float32{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1} // identity
+	b := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+
+	ctx := gptpu.Open(gptpu.Config{Devices: 1})
+	dim := gptpu.AllocDimension(2, n, n)
+	ba := ctx.CreateBuffer(dim, a)
+	bb := ctx.CreateBuffer(dim, b)
+
+	var c *tensor.Matrix
+	ctx.Enqueue(func(op *gptpu.Op) {
+		c = op.Gemm(ba, bb) // I * B = B, and small integers are exact
+	})
+	if err := ctx.Sync(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(c.At(0, 0), c.At(1, 1), c.At(3, 3))
+	// Output: 1 6 16
+}
+
+// Pair-wise operators work element by element; integer data inside
+// the int8 range computes exactly (the Tensorizer's
+// exactness-preserving calibration).
+func ExampleOp_Add() {
+	ctx := gptpu.Open(gptpu.Config{})
+	dim := gptpu.AllocDimension(2, 2, 2)
+	a := ctx.CreateBuffer(dim, []float32{1, 2, 3, 4})
+	b := ctx.CreateBuffer(dim, []float32{10, 20, 30, 40})
+	op := ctx.NewOp()
+	sum := op.Add(a, b)
+	fmt.Println(sum.Data)
+	// Output: [11 22 33 44]
+}
+
+// Matrix-wise reductions return a single value; the runtime
+// aggregates per-tile results on the CPU (section 6.2.1).
+func ExampleOp_Mean() {
+	ctx := gptpu.Open(gptpu.Config{})
+	dim := gptpu.AllocDimension(2, 2, 4)
+	a := ctx.CreateBuffer(dim, []float32{1, 2, 3, 4, 5, 6, 7, 8})
+	op := ctx.NewOp()
+	fmt.Println(op.Mean(a))
+	// Output: 4.5
+}
+
+// Tasks run out of order in parallel; Sync waits for all of them
+// (openctpu_sync).
+func ExampleContext_Enqueue() {
+	ctx := gptpu.Open(gptpu.Config{Devices: 2})
+	dim := gptpu.AllocDimension(2, 2, 2)
+	a := ctx.CreateBuffer(dim, []float32{1, 2, 3, 4})
+	b := ctx.CreateBuffer(dim, []float32{4, 3, 2, 1})
+
+	var sum, prod *tensor.Matrix
+	ctx.Enqueue(func(op *gptpu.Op) { sum = op.Add(a, b) })
+	ctx.Enqueue(func(op *gptpu.Op) { prod = op.Mul(a, b) })
+	if err := ctx.Sync(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(sum.Data, prod.Data)
+	// Output: [5 5 5 5] [4 6 6 4]
+}

@@ -1,0 +1,130 @@
+// Conjugate-gradient solver on GPTPU — exploring "additional
+// applications on the GPTPU platform" as the paper's contribution (5)
+// invites. Each CG iteration's dominant cost, the matrix-vector
+// product A*p, maps to FullyConnected instructions; the scalar
+// recurrences stay on the host.
+//
+// Plain int8 products stall CG at a few percent residual, so the
+// solver composes the dual-portion technique (paper section 10) at
+// the application level: the system matrix splits once into coarse +
+// fine buffers (both resident across iterations), the direction
+// vector splits per iteration, and three MatVec calls reconstruct
+// A*p to ~16-bit precision — enough for CG to converge properly.
+//
+//	go run ./examples/conjgrad
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	gptpu "repro"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+const (
+	n     = 1024
+	iters = 40
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	// Symmetric positive-definite system: A = M^T M / n + I.
+	m := tensor.RandUniform(rng, n, n, -1, 1)
+	a := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var acc float64
+			for k := 0; k < n; k++ {
+				acc += float64(m.At(k, i)) * float64(m.At(k, j))
+			}
+			v := float32(acc / n)
+			if i == j {
+				v += 4
+			}
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	b := make([]float32, n)
+	for i := range b {
+		b[i] = rng.Float32()*2 - 1
+	}
+
+	ctx := gptpu.Open(gptpu.Config{Devices: 4})
+	op := ctx.NewOp()
+	aHi, aLo, _ := quant.SplitPortions(a)
+	bHi := ctx.CreateMatrixBuffer(aHi)
+	bLo := ctx.CreateMatrixBuffer(aLo)
+	// matVec reconstructs A*p from three device products:
+	// A_hi*p_hi + A_hi*p_lo + A_lo*p_hi (the lo*lo term is negligible).
+	matVec := func(p []float32) []float32 {
+		pHi, pLo := quant.SplitVector(p)
+		y1 := op.MatVec(bHi, pHi)
+		y2 := op.MatVec(bHi, pLo)
+		y3 := op.MatVec(bLo, pHi)
+		out := make([]float32, len(p))
+		for i := range out {
+			out[i] = y1[i] + y2[i] + y3[i]
+		}
+		return out
+	}
+
+	x := make([]float32, n)
+	r := append([]float32(nil), b...)
+	p := append([]float32(nil), b...)
+	rs := dot(r, r)
+	var it int
+	for it = 0; it < iters; it++ {
+		ap := matVec(p) // the dual-portion device product
+		if op.Err() != nil {
+			log.Fatal(op.Err())
+		}
+		alpha := rs / dot(p, ap)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := dot(r, r)
+		if math.Sqrt(float64(rsNew)) < 1e-4 {
+			it++
+			break
+		}
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+
+	// Residual of the returned solution against the exact system.
+	res := make([]float32, n)
+	var worst float64
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j := 0; j < n; j++ {
+			acc += float64(a.At(i, j)) * float64(x[j])
+		}
+		res[i] = float32(acc) - b[i]
+		if d := math.Abs(float64(res[i])); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("conjugate gradient: %dx%d SPD system on 4 Edge TPUs\n", n, n)
+	fmt.Printf("  iterations: %d   final residual norm: %.4f   worst component: %.4f\n",
+		it, math.Sqrt(float64(dot(res, res))), worst)
+	fmt.Printf("  virtual time: %v, energy %.2f J\n", ctx.Elapsed(), ctx.Energy().TotalJoules())
+	fmt.Println("  note: dual-portion products give ~16-bit precision; single-portion int8")
+	fmt.Println("  stalls CG near 5% residual (try removing the split to see it)")
+}
+
+func dot(a, b []float32) float32 {
+	var acc float64
+	for i := range a {
+		acc += float64(a[i]) * float64(b[i])
+	}
+	return float32(acc)
+}

@@ -1,0 +1,48 @@
+// Package apps hosts the seven workloads of the paper's evaluation
+// (Table 3), each in its own sub-package with three implementations:
+// the optimized CPU baseline (Rodinia/AxBench/OpenBLAS style, on the
+// simulated Ryzen), the GPTPU implementation using the OpenCtpu API,
+// and a GPU timing model (RTX 2080 / Jetson Nano) for Figure 9.
+//
+// Every implementation reports Metrics (virtual makespan + energy);
+// functional implementations additionally return their numeric output
+// for the Table 4/5 accuracy comparisons.
+package apps
+
+import (
+	"repro/internal/energy"
+	"repro/internal/timing"
+)
+
+// Metrics is the per-run performance result.
+type Metrics struct {
+	Elapsed timing.Duration
+	Energy  energy.Report
+}
+
+// Speedup returns base/this as a ratio (>1 means this run is faster).
+func (m Metrics) Speedup(base Metrics) float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return base.Elapsed.Seconds() / m.Elapsed.Seconds()
+}
+
+// EnergyRatio returns this run's total energy relative to base
+// (<1 means this run saves energy).
+func (m Metrics) EnergyRatio(base Metrics) float64 {
+	b := base.Energy.TotalJoules()
+	if b == 0 {
+		return 0
+	}
+	return m.Energy.TotalJoules() / b
+}
+
+// EDPRatio returns this run's energy-delay product relative to base.
+func (m Metrics) EDPRatio(base Metrics) float64 {
+	b := base.Energy.EDP()
+	if b == 0 {
+		return 0
+	}
+	return m.Energy.EDP() / b
+}

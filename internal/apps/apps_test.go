@@ -1,0 +1,46 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+)
+
+func metricsOf(sec float64, joules float64) Metrics {
+	return Metrics{
+		Elapsed: time.Duration(sec * float64(time.Second)),
+		Energy: energy.Report{
+			Makespan:     time.Duration(sec * float64(time.Second)),
+			ActiveJoules: joules,
+		},
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := metricsOf(10, 100)
+	fast := metricsOf(2, 30)
+	if got := fast.Speedup(base); got != 5 {
+		t.Fatalf("speedup %v", got)
+	}
+	var zero Metrics
+	if zero.Speedup(base) != 0 {
+		t.Fatal("zero elapsed must not divide")
+	}
+}
+
+func TestEnergyAndEDPRatios(t *testing.T) {
+	base := metricsOf(10, 100)
+	fast := metricsOf(2, 30)
+	if got := fast.EnergyRatio(base); got != 0.3 {
+		t.Fatalf("energy ratio %v", got)
+	}
+	// EDP = J*s: base 1000, fast 60 -> 0.06.
+	if got := fast.EDPRatio(base); got < 0.0599 || got > 0.0601 {
+		t.Fatalf("EDP ratio %v", got)
+	}
+	var zero Metrics
+	if base.EnergyRatio(zero) != 0 || base.EDPRatio(zero) != 0 {
+		t.Fatal("zero base must not divide")
+	}
+}

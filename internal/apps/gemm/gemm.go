@@ -1,0 +1,101 @@
+// Package gemm is the GEMM workload of the evaluation (Table 3:
+// 2 x 16K x 16K, baselines OpenBLAS [71] / cuBLAS [72] / FBGEMM [79]).
+// It exercises tpuGemm — the conv2D-based algorithm of section 7.1 —
+// against the FullyConnected variant, the float32 CPU baseline, the
+// FBGEMM-style int8 CPU baseline (Table 5), and the GPU models.
+package gemm
+
+import (
+	"math/rand"
+
+	gptpu "repro"
+	"repro/internal/apps"
+	"repro/internal/blas"
+	"repro/internal/gpusim"
+	"repro/internal/tensor"
+)
+
+// Config describes one GEMM run: C = A (N x N) * B (N x N).
+type Config struct {
+	N int
+	// Range is the half-range of the uniform input distribution
+	// [-Range, Range); IntMax, when non-zero, switches to positive
+	// integers in [0, IntMax] (the Table 5 workload).
+	Range  float32
+	IntMax int
+	Seed   int64
+}
+
+// Generate builds the input pair.
+func (c Config) Generate() (a, b *tensor.Matrix) {
+	rng := rand.New(rand.NewSource(c.Seed + 1))
+	if c.IntMax > 0 {
+		return tensor.RandPositiveInts(rng, c.N, c.N, c.IntMax),
+			tensor.RandPositiveInts(rng, c.N, c.N, c.IntMax)
+	}
+	r := c.Range
+	if r == 0 {
+		r = 8
+	}
+	return tensor.RandUniform(rng, c.N, c.N, -r, r),
+		tensor.RandUniform(rng, c.N, c.N, -r, r)
+}
+
+// RunCPU executes the OpenBLAS-style float32 baseline on threads
+// cores. a and b may be nil for timing-only runs.
+func RunCPU(cpu *blas.CPU, threads int, cfg Config, a, b *tensor.Matrix) (*tensor.Matrix, apps.Metrics) {
+	n := int64(cfg.N)
+	var out *tensor.Matrix
+	if a != nil && b != nil {
+		out = blas.Gemm(a, b)
+	}
+	cpu.ChargeGemm(0, n, n, n, threads)
+	return out, apps.Metrics{Elapsed: cpu.Elapsed(), Energy: cpu.Energy()}
+}
+
+// RunCPUInt8 executes the FBGEMM-style int8 baseline (single core,
+// matching the Table 5 setup).
+func RunCPUInt8(cpu *blas.CPU, cfg Config, a, b *tensor.Matrix) (*tensor.Matrix, apps.Metrics) {
+	n := int64(cfg.N)
+	var out *tensor.Matrix
+	if a != nil && b != nil {
+		out = blas.Int8Gemm(a, b)
+	}
+	cpu.ChargeInt8Gemm(0, n, n, n, 1)
+	return out, apps.Metrics{Elapsed: cpu.Elapsed(), Energy: cpu.Energy()}
+}
+
+// Algorithm selects the GPTPU GEMM implementation.
+type Algorithm int
+
+const (
+	// Conv2D is tpuGemm (section 7.1.2), the library default.
+	Conv2D Algorithm = iota
+	// FullyConnected is the section 7.1.1 variant.
+	FullyConnected
+)
+
+// RunTPU executes the GPTPU implementation on ctx.
+func RunTPU(ctx *gptpu.Context, alg Algorithm, a, b *tensor.Matrix) (*tensor.Matrix, apps.Metrics, error) {
+	ba := ctx.CreateMatrixBuffer(a)
+	bb := ctx.CreateMatrixBuffer(b)
+	op := ctx.NewOp()
+	var out *tensor.Matrix
+	if alg == Conv2D {
+		out = op.Gemm(ba, bb)
+	} else {
+		out = op.GemmFC(ba, bb)
+	}
+	return out, apps.Metrics{Elapsed: ctx.Elapsed(), Energy: ctx.Energy()}, op.Err()
+}
+
+// RunGPU charges the cuBLAS-style GEMM on a GPU model. prec follows
+// section 9.4 (INT8 tensor cores on the RTX 2080, FP32 on the Nano).
+func RunGPU(g *gpusim.GPU, cfg Config, prec gpusim.Precision) apps.Metrics {
+	n := int64(cfg.N)
+	bytes := 3 * n * n * 4
+	end := g.Transfer(0, 2*n*n*4)
+	end = g.Kernel(end, 2*float64(n)*float64(n)*float64(n), bytes, prec)
+	g.Transfer(end, n*n*4)
+	return apps.Metrics{Elapsed: g.Elapsed(), Energy: g.Energy()}
+}

@@ -1,0 +1,132 @@
+package gemm
+
+import (
+	"testing"
+	"testing/quick"
+
+	gptpu "repro"
+	"repro/internal/blas"
+	"repro/internal/gpusim"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	cfg := Config{N: 64, Seed: 1}
+	a, b := cfg.Generate()
+	if a.Rows != 64 || b.Cols != 64 {
+		t.Fatal("bad shapes")
+	}
+	cfg.IntMax = 8
+	a, _ = cfg.Generate()
+	for _, v := range a.Data {
+		if v != float32(int(v)) || v < 0 || v > 8 {
+			t.Fatalf("IntMax workload produced %v", v)
+		}
+	}
+}
+
+func TestTPUConvMatchesCPUBaseline(t *testing.T) {
+	cfg := Config{N: 160, Range: 4, Seed: 2}
+	a, b := cfg.Generate()
+	cpu := blas.NewCPU(nil, 1)
+	ref, cpuM := RunCPU(cpu, 1, cfg, a, b)
+	ctx := gptpu.Open(gptpu.Config{})
+	got, tpuM, err := RunTPU(ctx, Conv2D, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := tensor.RMSE(ref, got); e > 0.02 {
+		t.Fatalf("RMSE %v", e)
+	}
+	if cpuM.Elapsed <= 0 || tpuM.Elapsed <= 0 {
+		t.Fatal("metrics missing")
+	}
+}
+
+func TestFCVariantAccuracy(t *testing.T) {
+	cfg := Config{N: 130, Range: 4, Seed: 3}
+	a, b := cfg.Generate()
+	ctx := gptpu.Open(gptpu.Config{})
+	got, _, err := RunTPU(ctx, FullyConnected, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := tensor.RMSE(blas.NaiveGemm(a, b), got); e > 0.02 {
+		t.Fatalf("FC RMSE %v", e)
+	}
+}
+
+func TestInt8WorkloadExactness(t *testing.T) {
+	// Table 5: tpuGemm is exact for positive integers up to 64.
+	cfg := Config{N: 128, IntMax: 64, Seed: 4}
+	a, b := cfg.Generate()
+	ctx := gptpu.Open(gptpu.Config{})
+	got, _, err := RunTPU(ctx, Conv2D, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := tensor.RMSE(blas.NaiveGemm(a, b), got); e > 1e-6 {
+		t.Fatalf("integer GEMM should be exact, RMSE %v", e)
+	}
+}
+
+func TestRunCPUInt8ChargesLess(t *testing.T) {
+	cfg := Config{N: 512, IntMax: 8, Seed: 5}
+	c1 := blas.NewCPU(nil, 1)
+	_, m1 := RunCPU(c1, 1, cfg, nil, nil)
+	c2 := blas.NewCPU(nil, 1)
+	_, m2 := RunCPUInt8(c2, cfg, nil, nil)
+	if m2.Elapsed >= m1.Elapsed {
+		t.Fatal("int8 CPU GEMM should be faster than float32")
+	}
+}
+
+func TestRunGPUPrecisions(t *testing.T) {
+	cfg := Config{N: 1024}
+	g1 := gpusim.New(gpusim.RTX2080())
+	m8 := RunGPU(g1, cfg, gpusim.INT8)
+	g2 := gpusim.New(gpusim.RTX2080())
+	m32 := RunGPU(g2, cfg, gpusim.FP32)
+	if m8.Elapsed > m32.Elapsed {
+		t.Fatal("tensor-core INT8 should not be slower than FP32")
+	}
+}
+
+func TestTimingOnlyMatchesFunctionalTime(t *testing.T) {
+	cfg := Config{N: 256, Range: 4, Seed: 6}
+	a, b := cfg.Generate()
+	ctxF := gptpu.Open(gptpu.Config{})
+	_, mF, err := RunTPU(ctxF, Conv2D, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxT := gptpu.Open(gptpu.Config{TimingOnly: true})
+	_, mT, err := RunTPU(ctxT, Conv2D, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := (mF.Elapsed - mT.Elapsed).Seconds(); d > 1e-12 || d < -1e-12 {
+		t.Fatalf("timing drift: functional %v vs timing-only %v", mF.Elapsed, mT.Elapsed)
+	}
+	_ = timing.Duration(0)
+}
+
+// Property: tpuGemm is exact for positive-integer inputs up to 127
+// (the Table 5 exactness mechanism) across random sizes and ranges.
+func TestQuickIntegerExactness(t *testing.T) {
+	f := func(seed int64, maxPow uint8) bool {
+		max := 1 << (maxPow%6 + 1) // 2..64
+		cfg := Config{N: 96, IntMax: max, Seed: seed}
+		a, b := cfg.Generate()
+		ctx := gptpu.Open(gptpu.Config{})
+		got, _, err := RunTPU(ctx, Conv2D, a, b)
+		if err != nil {
+			return false
+		}
+		return got.Equal(blas.NaiveGemm(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

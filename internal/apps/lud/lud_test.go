@@ -1,0 +1,108 @@
+package lud
+
+import (
+	"math/rand"
+	"testing"
+
+	gptpu "repro"
+	"repro/internal/blas"
+	"repro/internal/gpusim"
+	"repro/internal/tensor"
+)
+
+func TestHostLUReconstructs(t *testing.T) {
+	cfg := Config{N: 64, Seed: 1}
+	a := cfg.Generate()
+	lu := a.Clone()
+	hostLU(lu)
+	l, u := SplitLU(lu)
+	if e := tensor.RMSE(a, blas.NaiveGemm(l, u)); e > 1e-4 {
+		t.Fatalf("L*U reconstruction RMSE %v", e)
+	}
+}
+
+func TestSolvesAgainstOracle(t *testing.T) {
+	cfg := Config{N: 96, Seed: 2}
+	a := cfg.Generate()
+	lu := a.Clone()
+	hostLU(lu)
+
+	// forwardSolve: L * X = B.
+	b := tensor.RandUniform(randSource(3), 96, 20, -5, 5)
+	x := b.Clone()
+	forwardSolve(lu, x)
+	l, _ := SplitLU(lu)
+	if e := tensor.RMSE(b, blas.NaiveGemm(l, x)); e > 1e-3 {
+		t.Fatalf("forward solve RMSE %v", e)
+	}
+
+	// rightSolve: X * U = B.
+	b2 := tensor.RandUniform(randSource(4), 20, 96, -5, 5)
+	x2 := b2.Clone()
+	rightSolve(lu, x2)
+	_, u := SplitLU(lu)
+	if e := tensor.RMSE(b2, blas.NaiveGemm(x2, u)); e > 1e-3 {
+		t.Fatalf("right solve RMSE %v", e)
+	}
+}
+
+func TestTPULUDReconstructs(t *testing.T) {
+	cfg := Config{N: 512, Seed: 5}
+	a := cfg.Generate()
+	ctx := gptpu.Open(gptpu.Config{})
+	lu, _, err := RunTPU(ctx, cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, u := SplitLU(lu)
+	if e := tensor.RMSE(a, blas.Gemm(l, u)); e > 0.05 {
+		t.Fatalf("device LUD reconstruction RMSE %v", e)
+	}
+}
+
+func TestTPULUDMatchesCPUFactors(t *testing.T) {
+	cfg := Config{N: 256, Seed: 6}
+	a := cfg.Generate()
+	cpu := blas.NewCPU(nil, 1)
+	ref, _ := RunCPU(cpu, 1, cfg, a.Clone())
+	ctx := gptpu.Open(gptpu.Config{})
+	got, _, err := RunTPU(ctx, cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := tensor.RMSE(ref, got); e > 0.08 {
+		t.Fatalf("factor RMSE vs CPU %v", e)
+	}
+}
+
+func TestLUDScalesWorstAcrossDevices(t *testing.T) {
+	// Figure 8(b): LUD's recursion limits multi-TPU scaling well below
+	// linear.
+	cfg := Config{N: 1024, Seed: 7}
+	run := func(devs int) float64 {
+		ctx := gptpu.Open(gptpu.Config{TimingOnly: true, Devices: devs})
+		_, m, err := RunTPU(ctx, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed.Seconds()
+	}
+	t1, t8 := run(1), run(8)
+	scale := t1 / t8
+	if scale > 5 {
+		t.Fatalf("LUD scaled %.2fx on 8 devices; the recursion should cap it", scale)
+	}
+	if scale < 1 {
+		t.Fatalf("more devices made LUD slower (%.2fx)", scale)
+	}
+}
+
+func TestRunGPU(t *testing.T) {
+	g := gpusim.New(gpusim.RTX2080())
+	m := RunGPU(g, Config{N: 1024}, gpusim.FP32)
+	if m.Elapsed <= 0 {
+		t.Fatal("no GPU time charged")
+	}
+}
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

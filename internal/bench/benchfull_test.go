@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestPrintFull regenerates selected experiments at paper scale; it
+// only runs when BENCH_FULL is set (e.g. BENCH_FULL=fig6,fig7 or
+// BENCH_FULL=all) because the sweeps take minutes.
+func TestPrintFull(t *testing.T) {
+	sel := os.Getenv("BENCH_FULL")
+	if sel == "" {
+		t.Skip("set BENCH_FULL=<ids|all>")
+	}
+	var ids []string
+	if sel == "all" {
+		for _, e := range All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(sel, ",")
+	}
+	for _, id := range ids {
+		e, ok := ByID(strings.TrimSpace(id))
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		e.Run(Opts{Full: true}).Fprint(os.Stdout)
+	}
+}

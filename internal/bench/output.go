@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+)
+
+// WriteCSV renders the report as CSV: one header row, then data rows.
+// Notes are appended as comment-style rows with an empty first cell.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if err := cw.Write([]string{"#", n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonReport is the stable JSON shape of a report.
+type jsonReport struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// WriteJSON renders the report as a JSON object.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{
+		ID: r.ID, Title: r.Title, Header: r.Header, Rows: r.Rows, Notes: r.Notes,
+	})
+}

@@ -1,0 +1,173 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+func TestBlockedGemmMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.RandUniform(rng, 70, 90, -3, 3)
+	b := tensor.RandUniform(rng, 90, 110, -3, 3)
+	got := Gemm(a, b)
+	want := NaiveGemm(a, b)
+	if e := tensor.RMSE(want, got); e > 1e-5 {
+		t.Fatalf("blocked vs naive RMSE %v", e)
+	}
+}
+
+func TestQuickBlockedGemmEqualsNaive(t *testing.T) {
+	f := func(m, n, k uint8, seed int64) bool {
+		rm, rn, rk := int(m)%40+1, int(n)%40+1, int(k)%40+1
+		rng := rand.New(rand.NewSource(seed))
+		a := tensor.RandUniform(rng, rm, rn, -2, 2)
+		b := tensor.RandUniform(rng, rn, rk, -2, 2)
+		return tensor.RMSE(NaiveGemm(a, b), Gemm(a, b)) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gemm(tensor.New(2, 3), tensor.New(4, 2))
+}
+
+func TestMatVec(t *testing.T) {
+	a := tensor.FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	y := MatVec(a, []float32{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("got %v", y)
+	}
+}
+
+func TestInt8GemmExactForSmallInts(t *testing.T) {
+	// Table 5: RMSE is 0.00 for maximum values up to 16.
+	rng := rand.New(rand.NewSource(2))
+	a := tensor.RandPositiveInts(rng, 128, 128, 16)
+	b := tensor.RandPositiveInts(rng, 128, 128, 16)
+	got := Int8Gemm(a, b)
+	want := NaiveGemm(a, b)
+	if e := tensor.RMSE(want, got); e > 1e-6 {
+		t.Fatalf("int8 GEMM should be exact for max<=16, RMSE %v", e)
+	}
+}
+
+func TestInt8GemmOverflowsForLargeInts(t *testing.T) {
+	// Table 5: RMSE reaches 0.47 at max 32 and 0.97 at max 128 because
+	// the 16-bit accumulation saturates.
+	rng := rand.New(rand.NewSource(3))
+	a := tensor.RandPositiveInts(rng, 256, 256, 32)
+	b := tensor.RandPositiveInts(rng, 256, 256, 32)
+	e32 := tensor.RMSE(NaiveGemm(a, b), Int8Gemm(a, b))
+	if e32 < 0.1 {
+		t.Fatalf("max=32 should overflow noticeably, RMSE %v", e32)
+	}
+	a = tensor.RandPositiveInts(rng, 256, 256, 128)
+	b = tensor.RandPositiveInts(rng, 256, 256, 128)
+	e128 := tensor.RMSE(NaiveGemm(a, b), Int8Gemm(a, b))
+	if e128 < e32 {
+		t.Fatalf("saturation damage must grow with range: %v vs %v", e128, e32)
+	}
+	if e128 < 0.5 {
+		t.Fatalf("max=128 should be badly saturated, RMSE %v", e128)
+	}
+}
+
+func TestCPUChargeGemmScalesWithAmdahlShare(t *testing.T) {
+	// The OpenMP baselines carry a serial share (Figure 8a's 2.70x
+	// average on 8 cores): expect ~1/(f + (1-f)/8) with f = 0.25.
+	p := timing.Default()
+	c1 := NewCPU(p, 1)
+	c8 := NewCPU(p, 8)
+	e1 := c1.ChargeGemm(0, 1024, 1024, 1024, 1)
+	e8 := c8.ChargeGemm(0, 1024, 1024, 1024, 8)
+	ratio := e1.Seconds() / e8.Seconds()
+	want := 1 / (p.CPU.OMPSerialFraction + (1-p.CPU.OMPSerialFraction)/8)
+	if ratio < want*0.95 || ratio > want*1.05 {
+		t.Fatalf("8-core scaling %.2fx, want ~%.2fx", ratio, want)
+	}
+}
+
+func TestCPUChargeStreamMemoryBound(t *testing.T) {
+	// A memory-bound kernel must NOT scale linearly: the shared bus
+	// carries all bytes regardless of the thread count.
+	p := timing.Default()
+	elems := int64(1 << 26)
+	bytes := int64(1 << 30)
+	c1 := NewCPU(p, 1)
+	c8 := NewCPU(p, 8)
+	e1 := c1.ChargeStream(0, elems, bytes, 1)
+	e8 := c8.ChargeStream(0, elems, bytes, 8)
+	ratio := e1.Seconds() / e8.Seconds()
+	if ratio > 6 {
+		t.Fatalf("memory-bound kernel scaled %.2fx; the bus should cap it", ratio)
+	}
+	if e8 < e1/8 {
+		t.Fatal("scaling cannot exceed the thread count")
+	}
+}
+
+func TestCPUEnergyIncludesCores(t *testing.T) {
+	c := NewCPU(nil, 1)
+	c.ChargeGemm(0, 512, 512, 512, 1)
+	rep := c.Energy()
+	if rep.ActiveJoules <= 0 || rep.TotalJoules() <= rep.ActiveJoules {
+		t.Fatalf("energy report %+v", rep)
+	}
+}
+
+func TestCPUBadCoresPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCPU(nil, 0)
+}
+
+func TestChargeScalar(t *testing.T) {
+	c := NewCPU(nil, 2)
+	end := c.ChargeScalar(0, 3_000_000, 2)
+	if end <= 0 {
+		t.Fatal("scalar charge must advance time")
+	}
+	if c.Elapsed() != end {
+		t.Fatal("makespan mismatch")
+	}
+}
+
+func TestInt8GemmFasterThanFloat(t *testing.T) {
+	p := timing.Default()
+	c := NewCPU(p, 1)
+	f := c.ChargeGemm(0, 1024, 1024, 1024, 1)
+	c2 := NewCPU(p, 1)
+	i := c2.ChargeInt8Gemm(0, 1024, 1024, 1024, 1)
+	if i > f {
+		t.Fatal("int8 GEMM should not be slower than float32 on CPU")
+	}
+}
+
+func TestGemmParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	a := tensor.RandUniform(rng, 133, 97, -2, 2)
+	b := tensor.RandUniform(rng, 97, 71, -2, 2)
+	if e := tensor.RMSE(Gemm(a, b), GemmParallel(a, b)); e > 1e-6 {
+		t.Fatalf("parallel vs serial RMSE %v", e)
+	}
+	// Degenerate shapes.
+	one := tensor.New(1, 4)
+	oneB := tensor.New(4, 1)
+	if out := GemmParallel(one, oneB); out.Rows != 1 || out.Cols != 1 {
+		t.Fatal("1-row parallel gemm shape")
+	}
+}

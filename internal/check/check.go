@@ -1,0 +1,229 @@
+// Package check is the built-in self-test battery of the simulated
+// platform: randomized functional verification of every public
+// operator against exact float oracles, with quantization-aware error
+// budgets. Hardware bring-up runs exactly this kind of battery; here
+// it doubles as the acceptance gate for refactorings of the device
+// simulator and Tensorizer (any semantic drift trips a budget).
+package check
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	gptpu "repro"
+	"repro/internal/tensor"
+)
+
+// Result is one check's outcome.
+type Result struct {
+	Name   string
+	Error  float64 // measured RMSE (or absolute error for scalars)
+	Budget float64 // maximum acceptable
+	OK     bool
+	Detail string
+}
+
+// Run executes the battery with the given seed and returns every
+// check's outcome. Budgets reflect each operator's quantization
+// physics: one int8 rounding for element-wise paths, composed
+// roundings for products, the tanh LUT's output grid, and so on.
+func Run(seed int64, devices int) []Result {
+	rng := rand.New(rand.NewSource(seed))
+	ctx := gptpu.Open(gptpu.Config{Devices: devices})
+	op := ctx.NewOp()
+
+	const n = 96
+	a := tensor.RandUniform(rng, n, n, -6, 6)
+	b := tensor.RandUniform(rng, n, n, -6, 6)
+	pos := tensor.RandUniform(rng, n, n, 0.5, 9)
+	ba, bb := ctx.CreateMatrixBuffer(a), ctx.CreateMatrixBuffer(b)
+	bpos := ctx.CreateMatrixBuffer(pos)
+
+	var out []Result
+	add := func(name string, err, budget float64, detail string) {
+		out = append(out, Result{Name: name, Error: err, Budget: budget, OK: err <= budget, Detail: detail})
+	}
+
+	// Pairwise ops: one joint-scale rounding in, one requantized int8
+	// out => ~2 quantization steps of the range.
+	{
+		ref := tensor.New(n, n)
+		for i := range ref.Data {
+			ref.Data[i] = a.Data[i] + b.Data[i]
+		}
+		add("add", tensor.RMSE(ref, op.Add(ba, bb)), 0.02, "pairwise, joint scale")
+		for i := range ref.Data {
+			ref.Data[i] = a.Data[i] - b.Data[i]
+		}
+		add("sub", tensor.RMSE(ref, op.Sub(ba, bb)), 0.05, "pairwise, joint scale (differences cancel)")
+		for i := range ref.Data {
+			ref.Data[i] = a.Data[i] * b.Data[i]
+		}
+		add("mul", tensor.RMSE(ref, op.Mul(ba, bb)), 0.02, "pairwise, composed scales")
+	}
+
+	// Element-wise.
+	{
+		ref := tensor.New(n, n)
+		for i, v := range a.Data {
+			ref.Data[i] = float32(math.Tanh(float64(v)))
+		}
+		add("tanh", tensor.RMSE(ref, op.Tanh(ba)), 0.02, "LUT over int8 inputs")
+		for i, v := range a.Data {
+			if v > 0 {
+				ref.Data[i] = v
+			} else {
+				ref.Data[i] = 0
+			}
+		}
+		add("ReLu", tensor.RMSE(ref, op.ReLU(ba)), 0.01, "sign-exact")
+	}
+
+	// Matrix-wise reductions (scalar absolute error, relative to the
+	// value).
+	{
+		var mean float64
+		max := float32(math.Inf(-1))
+		for _, v := range pos.Data {
+			mean += float64(v)
+			if v > max {
+				max = v
+			}
+		}
+		mean /= float64(pos.Elems())
+		gotMean := op.Mean(bpos)
+		add("mean", math.Abs(float64(gotMean)-mean)/mean, 0.01, "tile sums recombined on CPU")
+		gotMax := op.Max(bpos)
+		add("max", math.Abs(float64(gotMax-max))/float64(max), 0.01, "exact up to input rounding")
+	}
+
+	// Data movement (must be exact in quantized space).
+	{
+		crop := op.Crop(ba, 8, 8, 16, 16)
+		ref := a.Crop(8, 8, 16, 16)
+		add("crop", tensor.RMSE(ref, crop), 0.01, "window extraction")
+		ext := op.Ext(ba, n+32, n+32)
+		var padErr float64
+		for r := n; r < n+32; r++ {
+			for c := 0; c < n+32; c++ {
+				padErr += math.Abs(float64(ext.At(r, c)))
+			}
+		}
+		add("ext", padErr, 0, "padding must be exactly zero")
+	}
+
+	// Arithmetic ops.
+	{
+		refMM := matMulRef(a, b)
+		add("conv2D(GEMM)", tensor.RMSE(refMM, op.Gemm(ba, bb)), 0.02, "tpuGemm, wide partials")
+		add("FullyConnected(GEMM)", tensor.RMSE(refMM, op.GemmFC(ba, bb)), 0.02, "FC algorithm")
+		add("GemmPrecise", tensor.RMSE(refMM, op.GemmPrecise(ba, bb)), 0.001, "dual-portion (16-bit effective)")
+
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = rng.Float32()*2 - 1
+		}
+		y := op.MatVec(ba, x)
+		refY := make([]float32, n)
+		for i := 0; i < n; i++ {
+			var acc float64
+			for j := 0; j < n; j++ {
+				acc += float64(a.At(i, j)) * float64(x[j])
+			}
+			refY[i] = float32(acc)
+		}
+		add("FullyConnected(vec)", vecRMSE(refY, y), 0.03, "matrix-vector")
+
+		k := tensor.FromSlice(3, 3, []float32{.1, .1, .1, .1, .2, .1, .1, .1, .1})
+		conv := op.Conv2D(bpos, ctx.CreateMatrixBuffer(k))
+		refC := convRef(pos, k)
+		add("conv2D(stencil)", tensor.RMSE(refC, conv), 0.02, "3x3 unstrided")
+	}
+
+	if op.Err() != nil {
+		out = append(out, Result{Name: "runtime", OK: false, Detail: op.Err().Error()})
+	}
+
+	// Integer exactness: the calibration must make small-int products
+	// exact.
+	{
+		ai := tensor.RandPositiveInts(rng, 64, 64, 11)
+		bi := tensor.RandPositiveInts(rng, 64, 64, 11)
+		ctx2 := gptpu.Open(gptpu.Config{Devices: devices})
+		op2 := ctx2.NewOp()
+		got := op2.Gemm(ctx2.CreateMatrixBuffer(ai), ctx2.CreateMatrixBuffer(bi))
+		exact := got.Equal(matMulRef(ai, bi))
+		r := Result{Name: "integer-exactness", Budget: 0, OK: exact, Detail: "small-int GEMM must be bit-exact"}
+		if !exact {
+			r.Error = 1
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Passed reports whether every result is within budget.
+func Passed(rs []Result) bool {
+	for _, r := range rs {
+		if !r.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the battery outcome.
+func Format(rs []Result) string {
+	s := ""
+	for _, r := range rs {
+		status := "ok  "
+		if !r.OK {
+			status = "FAIL"
+		}
+		s += fmt.Sprintf("  %s %-22s err %.6f (budget %.6f)  %s\n", status, r.Name, r.Error, r.Budget, r.Detail)
+	}
+	return s
+}
+
+func matMulRef(a, b *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := float64(a.At(i, k))
+			for j := 0; j < b.Cols; j++ {
+				out.Set(i, j, out.At(i, j)+float32(av*float64(b.At(k, j))))
+			}
+		}
+	}
+	return out
+}
+
+func convRef(a, k *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			var acc float64
+			for p := 0; p < k.Rows && i+p < a.Rows; p++ {
+				for q := 0; q < k.Cols && j+q < a.Cols; q++ {
+					acc += float64(a.At(i+p, j+q)) * float64(k.At(p, q))
+				}
+			}
+			out.Set(i, j, float32(acc))
+		}
+	}
+	return out
+}
+
+func vecRMSE(want, got []float32) float64 {
+	var se, ref float64
+	for i := range want {
+		d := float64(got[i] - want[i])
+		se += d * d
+		ref += float64(want[i]) * float64(want[i])
+	}
+	if ref == 0 {
+		return math.Sqrt(se / float64(len(want)))
+	}
+	return math.Sqrt(se / ref)
+}

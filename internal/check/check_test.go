@@ -1,0 +1,38 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBatteryPasses(t *testing.T) {
+	for _, devices := range []int{1, 4} {
+		rs := Run(1, devices)
+		if !Passed(rs) {
+			t.Fatalf("battery failed on %d device(s):\n%s", devices, Format(rs))
+		}
+		if len(rs) < 14 {
+			t.Fatalf("battery too small: %d checks", len(rs))
+		}
+	}
+}
+
+func TestBatteryIsSeedStable(t *testing.T) {
+	a := Run(7, 1)
+	b := Run(7, 1)
+	for i := range a {
+		if a[i].Error != b[i].Error {
+			t.Fatalf("check %s not deterministic: %v vs %v", a[i].Name, a[i].Error, b[i].Error)
+		}
+	}
+}
+
+func TestFormatMarksFailures(t *testing.T) {
+	rs := []Result{{Name: "x", Error: 2, Budget: 1, OK: false, Detail: "d"}}
+	if !strings.Contains(Format(rs), "FAIL") {
+		t.Fatal("failures must be marked")
+	}
+	if Passed(rs) {
+		t.Fatal("Passed must be false")
+	}
+}

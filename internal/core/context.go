@@ -1,0 +1,275 @@
+// Package core implements the paper's primary contribution: the GPTPU
+// runtime system (section 6). It contains the front-end task operation
+// queue (OPQ) and back-end instruction queue (IQ) of Figure 4, the
+// locality-aware instruction scheduler of section 6.1, and the
+// Tensorizer of section 6.2, which rewrites programmer-visible
+// operators into Edge TPU instructions at their optimal tile shapes,
+// quantizes and calibrates data, and encodes inputs into the
+// reverse-engineered model format.
+//
+// Execution is dual: every operator produces a functional result
+// computed with bit-exact int8 device arithmetic (optional, see
+// Options.Functional) and charges virtual time on the simulated
+// machine's resource timelines. Performance experiments at
+// paper-scale inputs run timing-only; accuracy experiments run
+// functionally at feasible sizes.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/edgetpu"
+	"repro/internal/energy"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// Options configures a GPTPU context. The zero value is not usable;
+// call DefaultOptions.
+type Options struct {
+	// Devices is the number of attached Edge TPUs (the prototype
+	// machine hosts up to 8, paper section 3.1).
+	Devices int
+	// Functional enables bit-exact int8 computation of results. When
+	// false, operators only charge virtual time (used to run the
+	// paper-scale performance sweeps in reasonable wall time).
+	Functional bool
+	// LocalityScheduling enables the section 6.1 rule: instructions
+	// sharing input, quantization flags and task ID are pinned to the
+	// device already holding the input. Disabling it (pure FCFS) is
+	// an ablation.
+	LocalityScheduling bool
+	// FastModelPath uses the reverse-engineered Tensorizer encoder
+	// (1.8 ms per 2Kx2K model); disabling it charges the Python
+	// TFLite compiler latency (2.7 s), the section 6.2.3 ablation.
+	FastModelPath bool
+	// OnDeviceReduce aggregates matrix-wise operator results with a
+	// second round of device instructions instead of CPU code, the
+	// alternative section 6.2.1 considers and rejects.
+	OnDeviceReduce bool
+	// QuantMethod selects range calibration (SCALE scans, Sampled
+	// samples).
+	QuantMethod quant.Method
+	// Params overrides the calibrated cost model (nil = Default).
+	Params *timing.Params
+}
+
+// DefaultOptions returns the configuration of the paper's prototype:
+// functional execution on a single Edge TPU with all optimizations on.
+func DefaultOptions() Options {
+	return Options{
+		Devices:            1,
+		Functional:         true,
+		LocalityScheduling: true,
+		FastModelPath:      true,
+		QuantMethod:        quant.MethodScale,
+	}
+}
+
+// Context is one GPTPU machine instance: a host CPU, a pool of Edge
+// TPUs behind PCIe switch cards, and the runtime state (buffer
+// registry, scheduler affinity table, task queue).
+type Context struct {
+	opts   Options
+	params *timing.Params
+
+	TL   *timing.Timeline
+	Pool *edgetpu.Pool
+	// Host is the CPU core executing the GPTPU runtime: quantization,
+	// model encoding, and result aggregation (the paper's runtime
+	// "still relies on the CPU", section 8.1).
+	Host *timing.Resource
+
+	keySeq  atomic.Uint64
+	taskSeq atomic.Int64
+
+	mu       sync.Mutex
+	affinity map[affinityKey]int
+	rr       int
+	pending  []*Task
+}
+
+type affinityKey struct {
+	input uint64
+	flags uint32
+	task  int
+}
+
+// NewContext builds a GPTPU machine.
+func NewContext(opts Options) *Context {
+	if opts.Devices <= 0 {
+		panic(fmt.Sprintf("core: need at least one device, got %d", opts.Devices))
+	}
+	params := opts.Params
+	if params == nil {
+		params = timing.Default()
+	}
+	tl := timing.NewTimeline()
+	c := &Context{
+		opts:     opts,
+		params:   params,
+		TL:       tl,
+		Pool:     edgetpu.NewPool(tl, params, opts.Devices),
+		Host:     tl.NewResource("cpu-core0"),
+		affinity: make(map[affinityKey]int),
+	}
+	return c
+}
+
+// Options returns the context configuration.
+func (c *Context) Options() Options { return c.opts }
+
+// Params returns the cost-model parameters.
+func (c *Context) Params() *timing.Params { return c.params }
+
+// Functional reports whether operators compute real results.
+func (c *Context) Functional() bool { return c.opts.Functional }
+
+// Elapsed returns the virtual makespan of all work charged so far.
+func (c *Context) Elapsed() timing.Duration { return c.TL.Makespan() }
+
+// Energy returns the wall-power energy accounting for the work so far.
+func (c *Context) Energy() energy.Report { return energy.Measure(c.TL) }
+
+// Reset rewinds virtual time and scheduler state (buffers keep their
+// cached quantization; their residency is forgotten along with the
+// device memories, which restart cold).
+func (c *Context) Reset() {
+	c.TL.Reset()
+	c.mu.Lock()
+	c.affinity = make(map[affinityKey]int)
+	c.rr = 0
+	c.mu.Unlock()
+}
+
+// nextKey allocates a unique input identity.
+func (c *Context) nextKey() uint64 { return c.keySeq.Add(1) }
+
+// ChargeHostWork charges d of application-level CPU time (e.g. the
+// scalar epilogue an app keeps on the host), starting once all work
+// charged so far has finished, and returns its completion time.
+func (c *Context) ChargeHostWork(d timing.Duration) timing.Duration {
+	return c.chargeHost(c.TL.Makespan(), d)
+}
+
+// Stats summarizes the runtime's scheduling behaviour so far.
+type Stats struct {
+	// Instructions executed per device.
+	Execs []int64
+	// ResidencyHits/Misses/Evictions aggregate the devices' on-chip
+	// memory behaviour (section 6.1's rule maximizes hits).
+	ResidencyHits, ResidencyMisses, Evictions int64
+	// HitRate is hits / (hits + misses); 0 when no uploads happened.
+	HitRate float64
+}
+
+// Stats returns the current scheduler statistics.
+func (c *Context) Stats() Stats {
+	var st Stats
+	for _, d := range c.Pool.Devices {
+		st.Execs = append(st.Execs, d.Execs())
+		h, m, e := d.ResidencyStats()
+		st.ResidencyHits += h
+		st.ResidencyMisses += m
+		st.Evictions += e
+	}
+	if tot := st.ResidencyHits + st.ResidencyMisses; tot > 0 {
+		st.HitRate = float64(st.ResidencyHits) / float64(tot)
+	}
+	return st
+}
+
+// nextTask allocates a task ID for the OPQ.
+func (c *Context) nextTask() int { return int(c.taskSeq.Add(1)) }
+
+// Buffer is an openctpu buffer: host raw data plus the cached
+// quantized form the Tensorizer derives on first use. Re-using a
+// buffer across operators (e.g. PageRank's adjacency matrix across
+// power iterations) re-uses both the quantization work and — through
+// the scheduler's affinity rule — the on-device residency.
+type Buffer struct {
+	M   *tensor.Matrix
+	key uint64
+
+	mu           sync.Mutex
+	quantized    bool
+	qp           quant.Params
+	q            *tensor.MatrixI8
+	readyAt      timing.Duration
+	derivedForms map[string]*derived
+}
+
+// NewBuffer registers host data with the runtime. The data is not
+// copied; the caller must not mutate it while operators are in
+// flight. Use Invalidate after intentional mutation.
+func (c *Context) NewBuffer(m *tensor.Matrix) *Buffer {
+	if m == nil {
+		panic("core: NewBuffer(nil)")
+	}
+	return &Buffer{M: m, key: c.nextKey()}
+}
+
+// Rows returns the buffer's logical row count.
+func (b *Buffer) Rows() int { return b.M.Rows }
+
+// Cols returns the buffer's logical column count.
+func (b *Buffer) Cols() int { return b.M.Cols }
+
+// Invalidate drops the cached quantization after the host mutated the
+// underlying data (e.g. Gaussian elimination updating the matrix in
+// place). The buffer also receives a fresh identity so stale on-device
+// copies are never reused.
+func (c *Context) Invalidate(b *Buffer) {
+	b.mu.Lock()
+	b.quantized = false
+	b.q = nil
+	b.derivedForms = nil
+	b.key = c.nextKey()
+	b.mu.Unlock()
+}
+
+// ensureQuantized performs (and charges) the Tensorizer's host-side
+// data transformation for b once: range calibration, int8 quantization
+// and model encoding. It returns the quantization parameters, the
+// quantized data (nil in timing-only mode) and the virtual time at
+// which the encoded model is available.
+func (c *Context) ensureQuantized(b *Buffer, ready timing.Duration) (quant.Params, *tensor.MatrixI8, timing.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.quantized {
+		at := b.readyAt
+		if ready > at {
+			at = ready
+		}
+		return b.qp, b.q, at
+	}
+	elems := int64(b.M.Elems())
+	// Host-side transformation cost: quantize + encode into the model
+	// format (the fast path) or invoke the reference TFLite compiler
+	// (ablation).
+	cost := c.params.QuantTime(elems)
+	if c.opts.FastModelPath {
+		cost += c.params.TensorizerEncodeTime(elems)
+	} else {
+		cost += c.params.RefCompileTime(elems)
+	}
+	_, end := c.Host.Acquire(ready, cost)
+	c.TL.Observe(end)
+
+	b.qp = quant.Params{Scale: 1}
+	if c.opts.Functional {
+		b.qp = quant.ParamsFor(b.M)
+		b.q = quant.QuantizeWith(b.M, b.qp)
+	}
+	b.quantized = true
+	b.readyAt = end
+	return b.qp, b.q, end
+}
+
+// quantFlagsFor encodes the context's quantization configuration into
+// the instruction's flag word (instructions only share a device
+// placement when these match, section 6.1).
+func (c *Context) quantFlagsFor() uint32 { return uint32(c.opts.QuantMethod) + 1 }

@@ -1,0 +1,691 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func testCtx(devices int) *Context {
+	o := DefaultOptions()
+	o.Devices = devices
+	return NewContext(o)
+}
+
+// refMatMul is the float reference for accuracy comparisons.
+func refMatMul(a, b *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := float64(a.At(i, k))
+			for j := 0; j < b.Cols; j++ {
+				out.Set(i, j, out.At(i, j)+float32(av*float64(b.At(k, j))))
+			}
+		}
+	}
+	return out
+}
+
+func TestPairwiseAddSubMul(t *testing.T) {
+	ctx := testCtx(1)
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.RandUniform(rng, 200, 150, -10, 10)
+	b := tensor.RandUniform(rng, 200, 150, -10, 10)
+	ba, bb := ctx.NewBuffer(a), ctx.NewBuffer(b)
+	s := ctx.NewStream()
+
+	add := s.Add(ba, bb)
+	sub := s.Sub(ba, bb)
+	mul := s.MulPair(ba, bb)
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+
+	refAdd, refSub, refMul := tensor.New(200, 150), tensor.New(200, 150), tensor.New(200, 150)
+	for i := range a.Data {
+		refAdd.Data[i] = a.Data[i] + b.Data[i]
+		refSub.Data[i] = a.Data[i] - b.Data[i]
+		refMul.Data[i] = a.Data[i] * b.Data[i]
+	}
+	if e := tensor.RMSE(refAdd, add); e > 0.02 {
+		t.Errorf("add RMSE %v", e)
+	}
+	if e := tensor.RMSE(refSub, sub); e > 0.02 {
+		t.Errorf("sub RMSE %v", e)
+	}
+	if e := tensor.RMSE(refMul, mul); e > 0.02 {
+		t.Errorf("mul RMSE %v", e)
+	}
+	if s.Now() <= 0 {
+		t.Fatal("stream clock did not advance")
+	}
+}
+
+func TestPairwiseShapeMismatchPanics(t *testing.T) {
+	ctx := testCtx(1)
+	s := ctx.NewStream()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Add(ctx.NewBuffer(tensor.New(2, 2)), ctx.NewBuffer(tensor.New(2, 3)))
+}
+
+func TestElementwise(t *testing.T) {
+	ctx := testCtx(1)
+	rng := rand.New(rand.NewSource(2))
+	a := tensor.RandUniform(rng, 100, 100, -2, 2)
+	ba := ctx.NewBuffer(a)
+	s := ctx.NewStream()
+
+	th := s.Tanh(ba)
+	re := s.ReLU(ba)
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	refT, refR := tensor.New(100, 100), tensor.New(100, 100)
+	for i, v := range a.Data {
+		refT.Data[i] = float32(math.Tanh(float64(v)))
+		if v > 0 {
+			refR.Data[i] = v
+		}
+	}
+	if e := tensor.RMSE(refT, th); e > 0.02 {
+		t.Errorf("tanh RMSE %v", e)
+	}
+	if e := tensor.RMSE(refR, re); e > 0.02 {
+		t.Errorf("relu RMSE %v", e)
+	}
+}
+
+func TestReduceMeanMax(t *testing.T) {
+	ctx := testCtx(1)
+	rng := rand.New(rand.NewSource(3))
+	a := tensor.RandUniform(rng, 200, 130, 0, 50)
+	ba := ctx.NewBuffer(a)
+	s := ctx.NewStream()
+
+	mean := s.Mean(ba)
+	max := s.MaxReduce(ba)
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	var refMean float64
+	refMax := float32(math.Inf(-1))
+	for _, v := range a.Data {
+		refMean += float64(v)
+		if v > refMax {
+			refMax = v
+		}
+	}
+	refMean /= float64(len(a.Data))
+	if math.Abs(float64(mean)-refMean)/refMean > 0.02 {
+		t.Errorf("mean %v want %v", mean, refMean)
+	}
+	if math.Abs(float64(max-refMax))/float64(refMax) > 0.02 {
+		t.Errorf("max %v want %v", max, refMax)
+	}
+}
+
+func TestOnDeviceReduceMatchesCPUAggregation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := tensor.RandUniform(rng, 300, 300, -5, 5)
+
+	o := DefaultOptions()
+	ctxCPU := NewContext(o)
+	o.OnDeviceReduce = true
+	ctxDev := NewContext(o)
+
+	s1, s2 := ctxCPU.NewStream(), ctxDev.NewStream()
+	m1 := s1.Mean(ctxCPU.NewBuffer(a))
+	m2 := s2.Mean(ctxDev.NewBuffer(a))
+	if s1.Err() != nil || s2.Err() != nil {
+		t.Fatal(s1.Err(), s2.Err())
+	}
+	if m1 != m2 {
+		t.Fatalf("aggregation strategies disagree: %v vs %v", m1, m2)
+	}
+	// The paper rejects on-device reduction because data movement
+	// dominates: the extra rounds must cost more virtual time.
+	if ctxDev.Elapsed() <= ctxCPU.Elapsed() {
+		t.Errorf("on-device reduce should be slower: %v vs %v", ctxDev.Elapsed(), ctxCPU.Elapsed())
+	}
+}
+
+func TestCropExt(t *testing.T) {
+	ctx := testCtx(1)
+	rng := rand.New(rand.NewSource(5))
+	a := tensor.RandUniform(rng, 64, 64, -8, 8)
+	ba := ctx.NewBuffer(a)
+	s := ctx.NewStream()
+
+	crop := s.Crop(ba, 10, 20, 30, 40)
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	ref := a.Crop(10, 20, 30, 40)
+	if e := tensor.RMSE(ref, crop); e > 0.02 {
+		t.Errorf("crop RMSE %v", e)
+	}
+	ext := s.Ext(ba, 100, 100)
+	if ext.Rows != 100 || ext.Cols != 100 {
+		t.Fatal("ext shape")
+	}
+	if ext.At(99, 99) != 0 {
+		t.Fatal("ext padding must be zero")
+	}
+	if e := tensor.RMSE(a, ext.Crop(0, 0, 64, 64)); e > 0.02 {
+		t.Errorf("ext body RMSE %v", e)
+	}
+}
+
+func TestConv2DStencil(t *testing.T) {
+	ctx := testCtx(1)
+	rng := rand.New(rand.NewSource(6))
+	a := tensor.RandUniform(rng, 200, 170, 0, 10)
+	k := tensor.FromSlice(3, 3, []float32{0.1, 0.1, 0.1, 0.1, 0.2, 0.1, 0.1, 0.1, 0.1})
+	s := ctx.NewStream()
+	got := s.Conv2D(ctx.NewBuffer(a), ctx.NewBuffer(k))
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	ref := tensor.New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			var acc float64
+			for p := 0; p < 3 && i+p < a.Rows; p++ {
+				for q := 0; q < 3 && j+q < a.Cols; q++ {
+					acc += float64(a.At(i+p, j+q)) * float64(k.At(p, q))
+				}
+			}
+			ref.Set(i, j, float32(acc))
+		}
+	}
+	if e := tensor.RMSE(ref, got); e > 0.02 {
+		t.Errorf("conv RMSE %v", e)
+	}
+}
+
+func TestConv2DTilingSeamless(t *testing.T) {
+	// Result across the 128-boundary must match the monolithic conv:
+	// a constant input through a sum kernel is constant away from the
+	// bottom/right edges; any seam would show at columns 126..129.
+	ctx := testCtx(1)
+	a := tensor.New(8, 260)
+	a.Fill(1)
+	k := tensor.FromSlice(2, 2, []float32{1, 1, 1, 1})
+	s := ctx.NewStream()
+	got := s.Conv2D(ctx.NewBuffer(a), ctx.NewBuffer(k))
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	for c := 120; c < 135; c++ {
+		if math.Abs(float64(got.At(3, c)-4)) > 0.1 {
+			t.Fatalf("seam artifact at col %d: %v", c, got.At(3, c))
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	ctx := testCtx(1)
+	rng := rand.New(rand.NewSource(7))
+	a := tensor.RandUniform(rng, 300, 200, -4, 4)
+	x := make([]float32, 200)
+	for i := range x {
+		x[i] = rng.Float32()*2 - 1
+	}
+	s := ctx.NewStream()
+	got := s.MatVec(ctx.NewBuffer(a), x)
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	var maxAbs, errSum, refSum float64
+	for i := 0; i < a.Rows; i++ {
+		var acc float64
+		for j := 0; j < a.Cols; j++ {
+			acc += float64(a.At(i, j)) * float64(x[j])
+		}
+		d := acc - float64(got[i])
+		errSum += d * d
+		refSum += acc * acc
+		if math.Abs(acc) > maxAbs {
+			maxAbs = math.Abs(acc)
+		}
+	}
+	if rmse := math.Sqrt(errSum / refSum); rmse > 0.03 {
+		t.Errorf("matvec RMSE %v", rmse)
+	}
+}
+
+func TestMatMulConvMatchesReference(t *testing.T) {
+	ctx := testCtx(1)
+	rng := rand.New(rand.NewSource(8))
+	a := tensor.RandUniform(rng, 150, 130, -3, 3)
+	b := tensor.RandUniform(rng, 130, 170, -3, 3)
+	s := ctx.NewStream()
+	got := s.MatMul(ctx.NewBuffer(a), ctx.NewBuffer(b))
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	ref := refMatMul(a, b)
+	if e := tensor.RMSE(ref, got); e > 0.02 {
+		t.Errorf("tpuGemm RMSE %v", e)
+	}
+}
+
+func TestMatMulFCMatchesReference(t *testing.T) {
+	ctx := testCtx(1)
+	rng := rand.New(rand.NewSource(9))
+	a := tensor.RandUniform(rng, 140, 150, -3, 3)
+	b := tensor.RandUniform(rng, 150, 90, -3, 3)
+	s := ctx.NewStream()
+	got := s.MatMulFC(ctx.NewBuffer(a), ctx.NewBuffer(b))
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	ref := refMatMul(a, b)
+	if e := tensor.RMSE(ref, got); e > 0.02 {
+		t.Errorf("FC GEMM RMSE %v", e)
+	}
+}
+
+func TestConvGemmFasterThanFCGemm(t *testing.T) {
+	// The mechanism behind Figure 6: same product, conv2D path must be
+	// dramatically faster in virtual time (paper reports 43x at 4K).
+	rng := rand.New(rand.NewSource(10))
+	a := tensor.RandUniform(rng, 512, 512, -3, 3)
+	b := tensor.RandUniform(rng, 512, 512, -3, 3)
+
+	ctx1 := testCtx(1)
+	s1 := ctx1.NewStream()
+	s1.MatMul(ctx1.NewBuffer(a), ctx1.NewBuffer(b))
+	convTime := ctx1.Elapsed()
+
+	ctx2 := testCtx(1)
+	s2 := ctx2.NewStream()
+	s2.MatMulFC(ctx2.NewBuffer(a), ctx2.NewBuffer(b))
+	fcTime := ctx2.Elapsed()
+
+	if s1.Err() != nil || s2.Err() != nil {
+		t.Fatal(s1.Err(), s2.Err())
+	}
+	ratio := fcTime.Seconds() / convTime.Seconds()
+	if ratio < 5 {
+		t.Errorf("conv2D GEMM only %.1fx faster than FC GEMM", ratio)
+	}
+}
+
+func TestMultiDeviceScaling(t *testing.T) {
+	// Virtual-time speedup from adding Edge TPUs without code changes
+	// (Figure 8 mechanism).
+	rng := rand.New(rand.NewSource(11))
+	a := tensor.RandUniform(rng, 512, 512, -3, 3)
+	b := tensor.RandUniform(rng, 512, 512, -3, 3)
+	elapsed := func(devs int) float64 {
+		o := DefaultOptions()
+		o.Devices = devs
+		o.Functional = false
+		ctx := NewContext(o)
+		s := ctx.NewStream()
+		s.MatMul(ctx.NewBuffer(a), ctx.NewBuffer(b))
+		if s.Err() != nil {
+			t.Fatal(s.Err())
+		}
+		return ctx.Elapsed().Seconds()
+	}
+	t1, t8 := elapsed(1), elapsed(8)
+	if t8 >= t1 {
+		t.Fatalf("8 devices (%.4fs) not faster than 1 (%.4fs)", t8, t1)
+	}
+}
+
+func TestTimingIndependentOfFunctionalFlag(t *testing.T) {
+	// Virtual time must not depend on whether results are computed;
+	// performance sweeps rely on this.
+	rng := rand.New(rand.NewSource(12))
+	a := tensor.RandUniform(rng, 256, 256, -3, 3)
+	b := tensor.RandUniform(rng, 256, 256, -3, 3)
+	run := func(functional bool) float64 {
+		o := DefaultOptions()
+		o.Functional = functional
+		ctx := NewContext(o)
+		s := ctx.NewStream()
+		s.MatMul(ctx.NewBuffer(a), ctx.NewBuffer(b))
+		s.MatVec(ctx.NewBuffer(a), make([]float32, 256))
+		if s.Err() != nil {
+			t.Fatal(s.Err())
+		}
+		return ctx.Elapsed().Seconds()
+	}
+	f, nf := run(true), run(false)
+	if math.Abs(f-nf)/f > 1e-9 {
+		t.Fatalf("functional %.9f vs timing-only %.9f", f, nf)
+	}
+}
+
+func TestBufferReuseIsCheaper(t *testing.T) {
+	// Second MatVec with the same matrix must be cheaper: cached
+	// quantization + on-device residency via the affinity rule.
+	rng := rand.New(rand.NewSource(13))
+	a := tensor.RandUniform(rng, 512, 512, -1, 1)
+	x := make([]float32, 512)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	ctx := testCtx(1)
+	ba := ctx.NewBuffer(a)
+	s := ctx.NewStream()
+	s.MatVec(ba, x)
+	first := ctx.Elapsed()
+	s.MatVec(ba, x)
+	second := ctx.Elapsed() - first
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if second.Seconds() >= 0.7*first.Seconds() {
+		t.Fatalf("reused iteration (%.6fs) should be well under first (%.6fs)", second.Seconds(), first.Seconds())
+	}
+}
+
+func TestLocalityAblation(t *testing.T) {
+	// Disabling the section 6.1 rule on a multi-device machine must
+	// not make repeated iterations cheaper than with it enabled.
+	rng := rand.New(rand.NewSource(14))
+	a := tensor.RandUniform(rng, 1024, 1024, -1, 1)
+	x := make([]float32, 1024)
+	iter := func(locality bool) float64 {
+		o := DefaultOptions()
+		o.Devices = 4
+		o.Functional = false
+		o.LocalityScheduling = locality
+		ctx := NewContext(o)
+		ba := ctx.NewBuffer(a)
+		s := ctx.NewStream()
+		for i := 0; i < 5; i++ {
+			s.MatVec(ba, x)
+		}
+		if s.Err() != nil {
+			t.Fatal(s.Err())
+		}
+		return ctx.Elapsed().Seconds()
+	}
+	withLoc, without := iter(true), iter(false)
+	if withLoc > without*1.01 {
+		t.Fatalf("locality scheduling slower than FCFS: %.6f vs %.6f", withLoc, without)
+	}
+}
+
+func TestFastModelPathAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := tensor.RandUniform(rng, 512, 512, -1, 1)
+	b := tensor.RandUniform(rng, 512, 512, -1, 1)
+	run := func(fast bool) float64 {
+		o := DefaultOptions()
+		o.Functional = false
+		o.FastModelPath = fast
+		ctx := NewContext(o)
+		s := ctx.NewStream()
+		s.MatMul(ctx.NewBuffer(a), ctx.NewBuffer(b))
+		return ctx.Elapsed().Seconds()
+	}
+	fast, slow := run(true), run(false)
+	if slow < 10*fast {
+		t.Fatalf("TFLite compiler path should dominate: fast=%.4fs slow=%.4fs", fast, slow)
+	}
+}
+
+func TestTasksRunInParallel(t *testing.T) {
+	// Two independent OPQ tasks on a 2-device machine must finish
+	// meaningfully faster than the same two tasks forced through one
+	// device (Figure 4's out-of-order task parallelism).
+	rng := rand.New(rand.NewSource(16))
+	a := tensor.RandUniform(rng, 256, 256, -1, 1)
+	b := tensor.RandUniform(rng, 256, 256, -1, 1)
+
+	run := func(devices int) float64 {
+		o := DefaultOptions()
+		o.Devices = devices
+		o.Functional = false
+		ctx := NewContext(o)
+		for i := 0; i < 2; i++ {
+			ba, bb := ctx.NewBuffer(a.Clone()), ctx.NewBuffer(b.Clone())
+			ctx.Enqueue(func(s *Stream) { s.MatMul(ba, bb) })
+		}
+		if err := ctx.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Elapsed().Seconds()
+	}
+	oneDev, twoDev := run(1), run(2)
+	if twoDev > 0.7*oneDev {
+		t.Fatalf("two devices should parallelize two tasks: 1 dev %.4fs, 2 dev %.4fs", oneDev, twoDev)
+	}
+}
+
+func TestTaskPanicIsCaptured(t *testing.T) {
+	ctx := testCtx(1)
+	task := ctx.Enqueue(func(s *Stream) { panic("boom") })
+	if err := task.Wait(); err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+	// Sync drains the OPQ and reports the same sticky failure.
+	if err := ctx.Sync(); err == nil {
+		t.Fatal("sync must report the failed task")
+	}
+	// A second Sync has nothing left to report.
+	if err := ctx.Sync(); err != nil {
+		t.Fatal("second sync should be clean:", err)
+	}
+}
+
+func TestDeviceFailureReroutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := tensor.RandUniform(rng, 256, 256, -1, 1)
+	b := tensor.RandUniform(rng, 256, 256, -1, 1)
+	ctx := testCtx(4)
+	ctx.Pool.Devices[0].Fail()
+	ctx.Pool.Devices[2].Fail()
+	s := ctx.NewStream()
+	got := s.MatMul(ctx.NewBuffer(a), ctx.NewBuffer(b))
+	if s.Err() != nil {
+		t.Fatal("work should reroute to healthy devices:", s.Err())
+	}
+	if e := tensor.RMSE(refMatMul(a, b), got); e > 0.02 {
+		t.Errorf("RMSE after failover %v", e)
+	}
+	if ctx.Pool.Devices[0].Execs() != 0 || ctx.Pool.Devices[2].Execs() != 0 {
+		t.Fatal("failed devices must not execute")
+	}
+}
+
+func TestAllDevicesFailed(t *testing.T) {
+	ctx := testCtx(2)
+	for _, d := range ctx.Pool.Devices {
+		d.Fail()
+	}
+	s := ctx.NewStream()
+	s.Add(ctx.NewBuffer(tensor.New(4, 4)), ctx.NewBuffer(tensor.New(4, 4)))
+	if s.Err() == nil {
+		t.Fatal("expected ErrNoDevices")
+	}
+	// Sticky error: further ops are no-ops.
+	if out := s.Tanh(ctx.NewBuffer(tensor.New(4, 4))); out != nil {
+		t.Fatal("stream with error must return nil results")
+	}
+}
+
+func TestInvalidateForcesRequantization(t *testing.T) {
+	ctx := testCtx(1)
+	a := tensor.New(64, 64)
+	a.Fill(1)
+	ba := ctx.NewBuffer(a)
+	s := ctx.NewStream()
+	if got := s.Mean(ba); math.Abs(float64(got)-1) > 0.02 {
+		t.Fatalf("mean %v want 1", got)
+	}
+	// Host mutates the raw data: stale cache would return 1 again.
+	a.Fill(3)
+	ctx.Invalidate(ba)
+	if got := s.Mean(ba); math.Abs(float64(got)-3) > 0.05 {
+		t.Fatalf("mean after invalidate %v want 3", got)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	ctx := testCtx(1)
+	rng := rand.New(rand.NewSource(18))
+	a := tensor.RandUniform(rng, 256, 256, -1, 1)
+	s := ctx.NewStream()
+	s.MatMul(ctx.NewBuffer(a), ctx.NewBuffer(a.Clone()))
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	rep := ctx.Energy()
+	if rep.TotalJoules() <= 0 || rep.ActiveJoules <= 0 {
+		t.Fatalf("energy report %+v", rep)
+	}
+	if rep.EDP() <= 0 {
+		t.Fatal("EDP must be positive")
+	}
+}
+
+func TestContextReset(t *testing.T) {
+	ctx := testCtx(1)
+	a := tensor.New(64, 64)
+	s := ctx.NewStream()
+	s.ReLU(ctx.NewBuffer(a))
+	if ctx.Elapsed() == 0 {
+		t.Fatal("work should advance the clock")
+	}
+	ctx.Reset()
+	if ctx.Elapsed() != 0 {
+		t.Fatal("reset must rewind virtual time")
+	}
+}
+
+func TestZeroDevicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewContext(Options{Devices: 0})
+}
+
+func TestMatMulPreciseBeatsPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := tensor.RandUniform(rng, 160, 160, -3, 3)
+	b := tensor.RandUniform(rng, 160, 160, -3, 3)
+	ref := refMatMul(a, b)
+
+	ctx1 := testCtx(1)
+	s1 := ctx1.NewStream()
+	plain := s1.MatMul(ctx1.NewBuffer(a), ctx1.NewBuffer(b))
+	ctx2 := testCtx(1)
+	s2 := ctx2.NewStream()
+	precise := s2.MatMulPrecise(ctx2.NewBuffer(a), ctx2.NewBuffer(b))
+	if s1.Err() != nil || s2.Err() != nil {
+		t.Fatal(s1.Err(), s2.Err())
+	}
+	ePlain := tensor.RMSE(ref, plain)
+	ePrecise := tensor.RMSE(ref, precise)
+	if ePrecise > ePlain/20 {
+		t.Fatalf("dual-portion GEMM should cut error by >20x: plain %v, precise %v", ePlain, ePrecise)
+	}
+	// The precision costs roughly three device passes.
+	ratio := ctx2.Elapsed().Seconds() / ctx1.Elapsed().Seconds()
+	if ratio < 1.5 || ratio > 6 {
+		t.Fatalf("precise/plain time ratio %v outside the expected ~3x", ratio)
+	}
+}
+
+func TestMatMulPreciseTimingOnly(t *testing.T) {
+	o := DefaultOptions()
+	o.Functional = false
+	ctx := NewContext(o)
+	s := ctx.NewStream()
+	out := s.MatMulPrecise(ctx.NewBuffer(tensor.ShapeOnly(256, 256)), ctx.NewBuffer(tensor.ShapeOnly(256, 256)))
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if out.Rows != 256 || out.Cols != 256 {
+		t.Fatal("shape lost")
+	}
+	if ctx.Elapsed() <= 0 {
+		t.Fatal("no time charged")
+	}
+}
+
+func TestConv2DStridedGrouping(t *testing.T) {
+	// Figure 5: a 3x3 kernel with stride (3,3) reduces each
+	// non-overlapping group of 9 numbers to one value.
+	ctx := testCtx(1)
+	a := tensor.New(6, 9)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	k := tensor.New(3, 3)
+	k.Fill(1)
+	s := ctx.NewStream()
+	out := s.Conv2DStrided(ctx.NewBuffer(a), ctx.NewBuffer(k), 3, 3)
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if out.Rows != 2 || out.Cols != 3 {
+		t.Fatalf("condensed shape %dx%d want 2x3", out.Rows, out.Cols)
+	}
+	for _, v := range out.Data {
+		if math.Abs(float64(v)-9) > 0.2 {
+			t.Fatalf("group sum %v want 9", v)
+		}
+	}
+}
+
+func TestConv2DStridedMatchesDevice(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	a := tensor.RandUniform(rng, 300, 40, 0, 4)
+	k := tensor.FromSlice(2, 2, []float32{0.5, 0.25, 0.25, 0.5})
+	ctx := testCtx(1)
+	s := ctx.NewStream()
+	got := s.Conv2DStrided(ctx.NewBuffer(a), ctx.NewBuffer(k), 2, 2)
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	// Reference: exact float strided conv.
+	if got.Rows != 150 || got.Cols != 20 {
+		t.Fatalf("shape %dx%d", got.Rows, got.Cols)
+	}
+	ref := tensor.New(150, 20)
+	for i := 0; i < 150; i++ {
+		for j := 0; j < 20; j++ {
+			var acc float64
+			for p := 0; p < 2 && 2*i+p < a.Rows; p++ {
+				for q := 0; q < 2 && 2*j+q < a.Cols; q++ {
+					acc += float64(a.At(2*i+p, 2*j+q)) * float64(k.At(p, q))
+				}
+			}
+			ref.Set(i, j, float32(acc))
+		}
+	}
+	if e := tensor.RMSE(ref, got); e > 0.03 {
+		t.Fatalf("strided conv RMSE %v", e)
+	}
+}
+
+func TestConv2DStridedTimingOnly(t *testing.T) {
+	o := DefaultOptions()
+	o.Functional = false
+	ctx := NewContext(o)
+	s := ctx.NewStream()
+	out := s.Conv2DStrided(ctx.NewBuffer(tensor.ShapeOnly(1024, 1024)),
+		ctx.NewBuffer(tensor.ShapeOnly(4, 4)), 4, 4)
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if out.Rows != 256 || out.Cols != 256 {
+		t.Fatalf("shape %dx%d", out.Rows, out.Cols)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"repro/internal/edgetpu"
+	"repro/internal/isa"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Conv2D performs the Edge TPU conv2D instruction with stride (1,1)
+// over the whole input: out[i][j] = sum_{p,q} in[i+p][j+q] * k[p][q],
+// zero-padded past the bottom/right edges (paper Equation 9). This is
+// the natural mapping for HotSpot3D's stencil ("can naturally map to
+// conv2d with a 3x3 kernel without striding", section 7.2.2).
+//
+// The Tensorizer partitions the input into 128x128 tiles with a
+// (kRows-1, kCols-1) halo so tile outputs match the monolithic
+// result, and downloads wide accumulators for precision.
+func (s *Stream) Conv2D(a *Buffer, kernel *Buffer) *tensor.Matrix {
+	if s.err != nil {
+		return nil
+	}
+	checkShapes("conv2D", kernel.Rows() > 0 && kernel.Cols() > 0 &&
+		kernel.Rows() <= a.Rows() && kernel.Cols() <= a.Cols(),
+		"kernel %dx%d incompatible with input %dx%d", kernel.Rows(), kernel.Cols(), a.Rows(), a.Cols())
+	c := s.c
+	pa, qa, readyA := c.ensureQuantized(a, s.now)
+	pk, qk, readyK := c.ensureQuantized(kernel, s.now)
+	ready := maxDur(readyA, readyK)
+
+	out := allocResult(c, a.Rows(), a.Cols())
+	tile := isa.ArithTile
+	haloR, haloC := kernel.Rows()-1, kernel.Cols()-1
+	spans := tensor.TileSpans(a.Rows(), a.Cols(), tile, tile)
+	works := make([]instrWork, 0, len(spans))
+	// Output requantization: the accumulated stencil value is bounded
+	// by sum|k| * max|input|; the Tensorizer calibrates the divisor
+	// from the actual quantized kernel so results ship back as int8
+	// (stencil grids re-ship every iteration, so download width is the
+	// dominant cost).
+	divisor := int32(1)
+	if c.opts.Functional {
+		var kSum, aMax int32
+		for r := 0; r < qk.Rows; r++ {
+			for _, v := range qk.Row(r) {
+				if v < 0 {
+					kSum -= int32(v)
+				} else {
+					kSum += int32(v)
+				}
+			}
+		}
+		aMax = i8AbsMax(qa)
+		divisor = (kSum*aMax + quant.QMax - 1) / quant.QMax
+		if divisor < 1 {
+			divisor = 1
+		}
+	}
+	dq := float32(divisor) / (pa.Scale * pk.Scale)
+	for i, sp := range spans {
+		sp := sp
+		// Extended region including the halo, clipped at the matrix
+		// boundary (the device zero-pads past the true edge, so
+		// clipping reproduces monolithic semantics).
+		exR := sp.Rows + haloR
+		if sp.R0+exR > a.Rows() {
+			exR = a.Rows() - sp.R0
+		}
+		exC := sp.Cols + haloC
+		if sp.C0+exC > a.Cols() {
+			exC = a.Cols() - sp.C0
+		}
+		w := instrWork{
+			instr: isa.Instruction{
+				Op: isa.Conv2D, InRows: sp.Rows, InCols: sp.Cols,
+				KRows: kernel.Rows(), KCols: kernel.Cols(), Channels: 1,
+				TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor(),
+			},
+			inputs: []inputRef{
+				{key: mix(a.key, 2000000+uint64(i)), bytes: int64(exR * exC)},
+				{key: kernel.key, bytes: int64(kernel.M.Elems())},
+			},
+			outBytes: int64(sp.Rows * sp.Cols), // requantized int8 results
+			ready:    ready,
+		}
+		if c.opts.Functional {
+			exR, exC := exR, exC
+			w.fn = func() {
+				in := qa.View(sp.R0, sp.C0, exR, exC)
+				acc := edgetpu.Conv2D(in, []*tensor.MatrixI8{qk}, 1, 1)[0]
+				for r := 0; r < sp.Rows; r++ {
+					for cc := 0; cc < sp.Cols; cc++ {
+						out8 := quant.SaturateI8(roundDiv(acc.At(r, cc), divisor))
+						out.Set(sp.R0+r, sp.C0+cc, float32(out8)*dq)
+					}
+				}
+			}
+		}
+		works = append(works, w)
+	}
+	end, err := c.runInstrs(works)
+	if err != nil {
+		s.fail(err)
+		return nil
+	}
+	end = c.chargeHost(end, c.params.QuantTime(int64(out.Elems())))
+	s.advance(end)
+	return out
+}
+
+// Conv2DStrided performs the Edge TPU conv2D instruction with an
+// explicit stride (sr, sc): inputs are treated "as groups of sx x sy
+// sub-matrices" each producing one result per kernel position (paper
+// Figure 5). The output is the condensed ceil(R/sr) x ceil(C/sc)
+// matrix. This is the primitive under tpuGemm, exposed for
+// applications that want custom grouped reductions (e.g. block
+// pooling).
+func (s *Stream) Conv2DStrided(a, kernel *Buffer, strideR, strideC int) *tensor.Matrix {
+	if s.err != nil {
+		return nil
+	}
+	checkShapes("conv2D-strided", strideR > 0 && strideC > 0, "strides must be positive (%d,%d)", strideR, strideC)
+	checkShapes("conv2D-strided", kernel.Rows() > 0 && kernel.Cols() > 0 &&
+		kernel.Rows() <= a.Rows() && kernel.Cols() <= a.Cols(),
+		"kernel %dx%d incompatible with input %dx%d", kernel.Rows(), kernel.Cols(), a.Rows(), a.Cols())
+	c := s.c
+	pa, qa, readyA := c.ensureQuantized(a, s.now)
+	pk, qk, readyK := c.ensureQuantized(kernel, s.now)
+	ready := maxDur(readyA, readyK)
+
+	outRows := (a.Rows() + strideR - 1) / strideR
+	outCols := (a.Cols() + strideC - 1) / strideC
+	out := allocResult(c, outRows, outCols)
+
+	divisor := int32(1)
+	if c.opts.Functional {
+		var kSum int32
+		for r := 0; r < qk.Rows; r++ {
+			for _, v := range qk.Row(r) {
+				if v < 0 {
+					kSum -= int32(v)
+				} else {
+					kSum += int32(v)
+				}
+			}
+		}
+		divisor = (kSum*i8AbsMax(qa) + quant.QMax - 1) / quant.QMax
+		if divisor < 1 {
+			divisor = 1
+		}
+	}
+	dq := float32(divisor) / (pa.Scale * pk.Scale)
+
+	// Row bands aligned to the stride, sized so a band plus kernel
+	// stays well inside on-chip memory.
+	bandOut := isa.ArithTile
+	if cap := int(c.params.TPUMemBytes/2) / maxInt(a.Cols()*strideR, 1); cap > 0 && cap < bandOut {
+		bandOut = maxInt(cap, 1)
+	}
+	var works []instrWork
+	for o0 := 0; o0 < outRows; o0 += bandOut {
+		oEnd := minInt(o0+bandOut, outRows)
+		r0 := o0 * strideR
+		rEnd := minInt((oEnd-1)*strideR+maxInt(kernel.Rows(), strideR), a.Rows())
+		bandRows := rEnd - r0
+		w := instrWork{
+			instr: isa.Instruction{
+				Op: isa.Conv2D, InRows: bandRows, InCols: a.Cols(),
+				KRows: kernel.Rows(), KCols: kernel.Cols(),
+				StrideR: strideR, StrideC: strideC, Channels: 1,
+				TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor(),
+			},
+			inputs: []inputRef{
+				{key: mix(a.key, 5000000+uint64(o0)), bytes: int64(bandRows) * int64(a.Cols())},
+				{key: kernel.key, bytes: int64(kernel.M.Elems())},
+			},
+			outBytes: int64(oEnd-o0) * int64(outCols),
+			ready:    ready,
+		}
+		if c.opts.Functional {
+			o0, oEnd, r0, bandRows := o0, oEnd, r0, bandRows
+			w.fn = func() {
+				in := qa.View(r0, 0, bandRows, a.Cols())
+				acc := edgetpu.Conv2D(in, []*tensor.MatrixI8{qk}, strideR, strideC)[0]
+				for r := o0; r < oEnd; r++ {
+					for cc := 0; cc < outCols; cc++ {
+						out8 := quant.SaturateI8(roundDiv(acc.At(r-o0, cc), divisor))
+						out.Set(r, cc, float32(out8)*dq)
+					}
+				}
+			}
+		}
+		works = append(works, w)
+	}
+	end, err := c.runInstrs(works)
+	if err != nil {
+		s.fail(err)
+		return nil
+	}
+	end = c.chargeHost(end, c.params.QuantTime(int64(out.Elems())))
+	s.advance(end)
+	return out
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/edgetpu"
+	"repro/internal/isa"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// MatVec multiplies the matrix buffer a (M x N) by the vector x
+// (length N) on the Edge TPUs using FullyConnected instructions —
+// PageRank's adjacency-matrix product uses "one FullyConnected
+// instruction for each adjacency-matrix multiplication with a single
+// vector" (section 7.2.1), which the Tensorizer partitions into
+// 128x128 weight tiles whose wide partial results CPU code aggregates
+// (section 6.2.1).
+func (s *Stream) MatVec(a *Buffer, x []float32) []float32 {
+	if s.err != nil {
+		return nil
+	}
+	checkShapes("FullyConnected", len(x) == a.Cols(),
+		"vector length %d != matrix cols %d", len(x), a.Cols())
+	c := s.c
+	pa, qa, readyA := c.ensureQuantized(a, s.now)
+
+	// Quantize the vector (fresh each call: iterative algorithms
+	// update it every round).
+	var (
+		qx []int8
+		sx = float32(1)
+	)
+	n := len(x)
+	if c.opts.Functional {
+		sx = quant.ParamsFor(tensor.FromSlice(1, n, x)).Scale
+		qx = make([]int8, n)
+		for i, v := range x {
+			qx[i] = quant.RoundToI8(v, sx)
+		}
+	}
+	xKey := c.nextKey()
+	ready := c.chargeHost(maxDur(readyA, s.now),
+		c.params.QuantTime(int64(n))+c.params.TensorizerEncodeTime(int64(n)))
+
+	m := a.Rows()
+	tile := isa.ArithTile
+	colTiles := (n + tile - 1) / tile
+
+	// Row-block granularity: enough blocks to spread across every
+	// device, few enough that the IQ dispatch overhead stays bounded
+	// for very tall matrices, and capped so a block's weights fit
+	// half the on-chip memory.
+	blockRows := (m + 4*c.opts.Devices - 1) / (4 * c.opts.Devices)
+	blockRows = (blockRows + tile - 1) / tile * tile
+	if blockRows < tile {
+		blockRows = tile
+	}
+	if memCap := int(c.params.TPUMemBytes / 2 / int64(maxInt(n, 1))); memCap >= tile {
+		memCap = memCap / tile * tile
+		if blockRows > memCap {
+			blockRows = memCap
+		}
+	} else {
+		blockRows = tile
+	}
+
+	acc := make([]int64, m)
+	works := make([]instrWork, 0, (m+blockRows-1)/blockRows)
+	inCols := tile
+	if n < tile {
+		inCols = n
+	}
+	for r0 := 0; r0 < m; r0 += blockRows {
+		rows := blockRows
+		if r0+rows > m {
+			rows = m - r0
+		}
+		rowTiles := (rows + tile - 1) / tile
+		inputs := []inputRef{
+			// The weight block was quantized when the buffer was first
+			// used; it can prefetch over the link before the fresh
+			// vector is ready.
+			{key: mix(a.key, 3000000+uint64(r0)), bytes: int64(rows) * int64(n), ready: readyA},
+			{key: xKey, bytes: int64(n)},
+		}
+		instr := isa.Instruction{
+			Op: isa.FullyConnected, InRows: tile, InCols: inCols,
+			TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor(),
+		}
+		count := rowTiles * colTiles
+		outBytes := int64(rows) * 4 * int64(colTiles)
+		if colTiles == 1 {
+			// Batch-mode FullyConnected: a tall, thin weight matrix is
+			// inference over a batch — one instruction streams the
+			// whole block through the matrix unit (how TFLite issues
+			// batched FC), and the single per-row result downloads as
+			// a dual-portion int8 pair instead of a wide accumulator
+			// (no cross-tile aggregation exists to need width).
+			instr.InRows = rows
+			instr.InCols = n
+			count = 1
+			outBytes = int64(rows) * 2
+		}
+		w := instrWork{
+			instr:    instr,
+			count:    count,
+			inputs:   inputs,
+			outBytes: outBytes,
+			ready:    ready,
+		}
+		if c.opts.Functional {
+			r0, rows := r0, rows
+			w.fn = func() {
+				for ct := 0; ct < colTiles; ct++ {
+					c0 := ct * tile
+					cols := segLen(n, ct, tile)
+					wt := qa.View(r0, c0, rows, cols)
+					part := edgetpu.FullyConnected(wt, qx[c0:c0+cols])
+					for i, v := range part {
+						acc[r0+i] += int64(v)
+					}
+				}
+			}
+		}
+		works = append(works, w)
+	}
+	end, err := c.runInstrs(works)
+	if err != nil {
+		s.fail(err)
+		return nil
+	}
+	// CPU aggregation of per-column-tile partial vectors plus final
+	// dequantization.
+	end = c.chargeHost(end, c.params.AggTime(int64(m)*int64(colTiles))+c.params.QuantTime(int64(m)))
+	s.advance(end)
+
+	out := make([]float32, m)
+	if c.opts.Functional {
+		inv := 1 / (float64(pa.Scale) * float64(sx))
+		for i, v := range acc {
+			out[i] = float32(float64(v) * inv)
+		}
+	}
+	return out
+}
+
+func segLen(n, idx, tile int) int {
+	c0 := idx * tile
+	if c0+tile > n {
+		return n - c0
+	}
+	return tile
+}
+
+// MatMulFC multiplies a (M x N) by b (N x K) using only
+// FullyConnected instructions: the section 7.1.1 algorithm that
+// "iterates through a column or row of the other matrix", performing
+// the multiplication via K FullyConnected operators. The paper's
+// Figure 6 shows this implementation cannot beat the CPU baseline —
+// reproducing that result is the point of keeping it.
+func (s *Stream) MatMulFC(a, b *Buffer) *tensor.Matrix {
+	if s.err != nil {
+		return nil
+	}
+	checkShapes("FullyConnected-GEMM", a.Cols() == b.Rows(),
+		"inner dimensions %d vs %d", a.Cols(), b.Rows())
+	c := s.c
+	pa, qa, readyA := c.ensureQuantized(a, s.now)
+	pb, qb, readyB := c.ensureQuantized(b, s.now)
+	ready := maxDur(readyA, readyB)
+
+	m, n, k := a.Rows(), a.Cols(), b.Cols()
+	tile := isa.ArithTile
+	rowTiles := (m + tile - 1) / tile
+	colTiles := (n + tile - 1) / tile
+
+	out := allocResult(c, m, k)
+	works := make([]instrWork, 0, rowTiles*k)
+	for j := 0; j < k; j++ {
+		for rt := 0; rt < rowTiles; rt++ {
+			r0 := rt * tile
+			rows := tile
+			if r0+rows > m {
+				rows = m - r0
+			}
+			inputs := make([]inputRef, 0, colTiles+1)
+			for ct := 0; ct < colTiles; ct++ {
+				inputs = append(inputs, inputRef{
+					key:   mix(a.key, 3000000+uint64(rt*colTiles+ct)),
+					bytes: int64(rows) * int64(segLen(n, ct, tile)),
+				})
+			}
+			inputs = append(inputs, inputRef{key: mix(b.key, 4000000+uint64(j)), bytes: int64(n)})
+			w := instrWork{
+				instr: isa.Instruction{
+					Op: isa.FullyConnected, InRows: rows, InCols: tile,
+					TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor(),
+				},
+				count:    colTiles,
+				inputs:   inputs,
+				outBytes: int64(rows) * 4 * int64(colTiles),
+				ready:    ready,
+			}
+			if c.opts.Functional {
+				j, r0, rows := j, r0, rows
+				w.fn = func() {
+					acc := make([]int64, rows)
+					col := make([]int8, 0, tile)
+					for ct := 0; ct < colTiles; ct++ {
+						c0 := ct * tile
+						cols := segLen(n, ct, tile)
+						col = col[:0]
+						for i := 0; i < cols; i++ {
+							col = append(col, qb.At(c0+i, j))
+						}
+						wt := qa.View(r0, c0, rows, cols)
+						part := edgetpu.FullyConnected(wt, col)
+						for i, v := range part {
+							acc[i] += int64(v)
+						}
+					}
+					inv := 1 / (float64(pa.Scale) * float64(pb.Scale))
+					for i, v := range acc {
+						out.Set(r0+i, j, float32(float64(v)*inv))
+					}
+				}
+			}
+			works = append(works, w)
+		}
+	}
+	end, err := c.runInstrs(works)
+	if err != nil {
+		s.fail(err)
+		return nil
+	}
+	end = c.chargeHost(end, c.params.AggTime(int64(m)*int64(k)*int64(colTiles))+c.params.QuantTime(int64(m)*int64(k)))
+	s.advance(end)
+	return out
+}
+
+// MatMul is tpuGemm, the optimized GEMM library function of section
+// 7.1.2: both inputs are re-laid-out so that each row of a becomes an
+// s x s sub-matrix (s = ceil(sqrt(N))) and each column of b becomes an
+// s x s kernel; conv2D with stride (s, s) then performs exactly the
+// multiplications and accumulations of GEMM while enjoying conv2D's
+// 25x RPS advantage over FullyConnected (Table 1).
+//
+// For inner dimensions too large for good on-chip reuse, the
+// Tensorizer additionally splits the inner dimension into segments
+// whose wide partial products the CPU aggregates — the section 6.2.1
+// "blocking algorithm for matrix multiplications [69]" with its
+// CPU-side aggregation ("the CPU code only needs to add received
+// values"), which also reduces precision loss because CPU registers
+// are wider than the device's data paths.
+func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
+	if s.err != nil {
+		return nil
+	}
+	checkShapes("tpuGemm", a.Cols() == b.Rows(),
+		"inner dimensions %d vs %d", a.Cols(), b.Rows())
+	c := s.c
+	pa, qa, readyA := c.ensureQuantized(a, s.now)
+	pb, qb, readyB := c.ensureQuantized(b, s.now)
+
+	m, n, k := a.Rows(), a.Cols(), b.Cols()
+	half := c.params.TPUMemBytes / 2
+
+	// Inner-dimension segmentation: minimizing total PCIe traffic
+	// 2*M*K*(N/ks)^2/half + 4*M*K*ks over the segment count yields
+	// ks ~ N/sqrt(2*half); segments below that threshold fit the
+	// on-chip memory well enough that one pass suffices.
+	ks := int(math.Round(float64(n) / math.Sqrt(2*float64(half))))
+	if ks < 1 {
+		ks = 1
+	}
+	if ks > n {
+		ks = n
+	}
+	segLenN := (n + ks - 1) / ks
+
+	out := allocResult(c, m, k)
+	inv := 1 / (float64(pa.Scale) * float64(pb.Scale))
+	var accMu sync.Mutex
+
+	var lastEnd timing.Duration
+	for seg := 0; seg < ks; seg++ {
+		segStart := seg * segLenN
+		segN := segLenN
+		if segStart+segN > n {
+			segN = n - segStart
+		}
+		if segN <= 0 {
+			break
+		}
+		side := int(math.Ceil(math.Sqrt(float64(segN))))
+		n2 := side * side
+
+		// Derived layout for a's segment: each row's segment columns
+		// zero-padded to n2 and interpreted as an s x s block (a pure
+		// layout identity: the padded row *is* the row-major block).
+		da := c.derivedQuant(a, fmt.Sprintf("convA:%d:%d", seg, side), pa.Scale, int64(m)*int64(n2),
+			maxDur(readyA, s.now), func() *tensor.MatrixI8 {
+				o := tensor.NewI8(m, n2)
+				for r := 0; r < m; r++ {
+					copy(o.Row(r)[:segN], qa.Row(r)[segStart:segStart+segN])
+				}
+				return o
+			})
+		// Derived layout for b's segment: kernel j holds rows
+		// segStart..segStart+segN of column j, padded to n2.
+		db := c.derivedQuant(b, fmt.Sprintf("convB:%d:%d", seg, side), pb.Scale, int64(k)*int64(n2),
+			maxDur(readyB, s.now), func() *tensor.MatrixI8 {
+				o := tensor.NewI8(k, n2)
+				for j := 0; j < k; j++ {
+					row := o.Row(j)
+					for i := 0; i < segN; i++ {
+						row[i] = qb.At(segStart+i, j)
+					}
+				}
+				return o
+			})
+		ready := maxDur(da.readyAt, db.readyAt)
+
+		// Partition rows of a and kernels of b so one instruction's
+		// operands fit the on-chip memory, and finely enough that the
+		// runtime spreads instructions over every attached device
+		// ("Tensorizer also automatically generates parallel tasks
+		// from the user code", section 9.3).
+		parallel := (m + 2*c.opts.Devices - 1) / (2 * c.opts.Devices)
+		chunkRows := clampChunk(minInt(int(half/int64(n2)), parallel), m)
+		chanBatch := clampChunk(int(half/int64(n2)), k)
+
+		var works []instrWork
+		for r0 := 0; r0 < m; r0 += chunkRows {
+			rows := chunkRows
+			if r0+rows > m {
+				rows = m - r0
+			}
+			for c0 := 0; c0 < k; c0 += chanBatch {
+				nch := chanBatch
+				if c0+nch > k {
+					nch = k - c0
+				}
+				w := instrWork{
+					instr: isa.Instruction{
+						Op: isa.Conv2D, InRows: rows * side, InCols: side,
+						KRows: side, KCols: side, StrideR: side, StrideC: side, Channels: nch,
+						TaskID: s.taskID, InputKey: da.key, QuantFlags: c.quantFlagsFor(),
+					},
+					inputs: []inputRef{
+						{key: mix(da.key, uint64(r0)), bytes: int64(rows) * int64(n2)},
+						{key: mix(db.key, uint64(c0)), bytes: int64(nch) * int64(n2)},
+					},
+					// Partials return as dual-portion int16 pairs: wide
+					// enough for exact CPU aggregation at 1/254^2
+					// relative granularity, half the download cost of
+					// raw int32 accumulators.
+					outBytes: int64(rows) * int64(nch) * 2,
+					ready:    ready,
+				}
+				if c.opts.Functional {
+					r0, rows, c0, nch := r0, rows, c0, nch
+					daq, dbq := da.q, db.q
+					w.fn = func() {
+						// Reinterpret the padded rows as stacked s x s
+						// blocks and the kernel rows as s x s kernels;
+						// run the strided conv2D exactly as the device
+						// would.
+						in := &tensor.MatrixI8{Rows: rows * side, Cols: side, Stride: side,
+							Data: daq.Data[r0*n2 : (r0+rows)*n2]}
+						kernels := make([]*tensor.MatrixI8, nch)
+						for j := 0; j < nch; j++ {
+							kernels[j] = &tensor.MatrixI8{Rows: side, Cols: side, Stride: side,
+								Data: dbq.Row(c0 + j)}
+						}
+						outs := edgetpu.Conv2D(in, kernels, side, side)
+						accMu.Lock()
+						for j, och := range outs {
+							for i := 0; i < rows; i++ {
+								out.Set(r0+i, c0+j,
+									out.At(r0+i, c0+j)+float32(float64(och.At(i, 0))*inv))
+							}
+						}
+						accMu.Unlock()
+					}
+				}
+				works = append(works, w)
+			}
+		}
+		end, err := c.runInstrs(works)
+		if err != nil {
+			s.fail(err)
+			return nil
+		}
+		if end > lastEnd {
+			lastEnd = end
+		}
+	}
+	// CPU aggregation of the wide segment partials plus the final
+	// dequantization pass.
+	lastEnd = c.chargeHost(lastEnd, c.params.AggTime(int64(m)*int64(k)*int64(ks-1))+
+		c.params.QuantTime(int64(m)*int64(k)))
+	s.advance(lastEnd)
+	return out
+}
+
+func clampChunk(v, max int) int {
+	if v < 1 {
+		return 1
+	}
+	if v > max {
+		return max
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/edgetpu"
+	"repro/internal/isa"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// Add performs pair-wise matrix addition on the Edge TPUs (the
+// overloaded matrix-add operator of section 5).
+func (s *Stream) Add(a, b *Buffer) *tensor.Matrix { return s.pairwise(isa.Add, a, b) }
+
+// Sub performs pair-wise matrix subtraction.
+func (s *Stream) Sub(a, b *Buffer) *tensor.Matrix { return s.pairwise(isa.Sub, a, b) }
+
+// MulPair performs pair-wise matrix multiplication (Hadamard
+// product); Gaussian elimination's row reductions use it (section
+// 7.2.4).
+func (s *Stream) MulPair(a, b *Buffer) *tensor.Matrix { return s.pairwise(isa.Mul, a, b) }
+
+// pairwise implements the section 6.2.1 rule for pair-wise operators:
+// divide both inputs into optimally-shaped sub-matrices and rewrite
+// the task into one instruction per tile pair. add and sub require a
+// joint scale (sums only make sense in a common fixed-point unit);
+// mul composes the per-operand scales.
+func (s *Stream) pairwise(op isa.OpCode, a, b *Buffer) *tensor.Matrix {
+	if s.err != nil {
+		return nil
+	}
+	checkShapes(op.String(), a.Rows() == b.Rows() && a.Cols() == b.Cols(),
+		"shape mismatch %dx%d vs %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	c := s.c
+
+	var (
+		qa, qb *tensor.MatrixI8
+		sa, sb float32
+		ready  = s.now
+		keyA   uint64
+		keyB   uint64
+	)
+	if op == isa.Mul {
+		pa, qam, ta := c.ensureQuantized(a, s.now)
+		pb, qbm, tb := c.ensureQuantized(b, s.now)
+		qa, qb, sa, sb = qam, qbm, pa.Scale, pb.Scale
+		keyA, keyB = a.key, b.key
+		ready = maxDur(ta, tb)
+	} else {
+		// Joint symmetric scale over both operands: the smaller of the
+		// per-operand scales covers the wider range (and preserves the
+		// exactness-calibrated scale 1 when both datasets are small
+		// integers).
+		joint := float32(1)
+		if c.opts.Functional {
+			pa, pb := quant.ParamsFor(a.M), quant.ParamsFor(b.M)
+			joint = pa.Scale
+			if pb.Scale < joint {
+				joint = pb.Scale
+			}
+		}
+		tag := scaleTag("joint", joint)
+		da := c.derivedQuant(a, tag, joint, int64(a.M.Elems()), s.now, func() *tensor.MatrixI8 {
+			return quant.QuantizeWith(a.M, quant.Params{Scale: joint})
+		})
+		db := c.derivedQuant(b, tag, joint, int64(b.M.Elems()), s.now, func() *tensor.MatrixI8 {
+			return quant.QuantizeWith(b.M, quant.Params{Scale: joint})
+		})
+		qa, qb, sa, sb = da.q, db.q, joint, joint
+		keyA, keyB = da.key, db.key
+		ready = maxDur(da.readyAt, db.readyAt)
+	}
+
+	// The device's output stage requantizes wide results back to int8.
+	// The Tensorizer calibrates the requantization divisor from the
+	// observed quantized maxima ("dynamically evaluates input data",
+	// section 1) instead of the worst-case bound, which preserves
+	// exactness for small-integer datasets.
+	divisor := int32(1)
+	if c.opts.Functional {
+		amax, bmax := i8AbsMax(qa), i8AbsMax(qb)
+		var bound int32
+		switch op {
+		case isa.Mul:
+			bound = amax * bmax
+		default:
+			bound = amax + bmax
+		}
+		divisor = (bound + quant.QMax - 1) / quant.QMax
+		if divisor < 1 {
+			divisor = 1
+		}
+	}
+
+	out := allocResult(c, a.Rows(), a.Cols())
+	tile := isa.TileFor(op)
+	spans := tensor.TileSpans(a.Rows(), a.Cols(), tile, tile)
+	works := make([]instrWork, 0, len(spans))
+	for i, sp := range spans {
+		sp := sp
+		w := instrWork{
+			instr: isa.Instruction{
+				Op: op, InRows: sp.Rows, InCols: sp.Cols,
+				TaskID: s.taskID, InputKey: keyA, QuantFlags: c.quantFlagsFor(),
+			},
+			inputs: []inputRef{
+				{key: mix(keyA, uint64(i)), bytes: int64(sp.Rows * sp.Cols)},
+				{key: mix(keyB, uint64(i)), bytes: int64(sp.Rows * sp.Cols)},
+			},
+			outBytes: int64(sp.Rows * sp.Cols), // int8 result tiles
+			ready:    ready,
+		}
+		if c.opts.Functional {
+			w.fn = func() { pairwiseTile(op, qa, qb, out, sp, sa, sb, divisor) }
+		}
+		works = append(works, w)
+	}
+	end, err := c.runInstrs(works)
+	if err != nil {
+		s.fail(err)
+		return nil
+	}
+	// Host-side dequantization of the downloaded int8 tiles.
+	end = c.chargeHost(end, c.params.QuantTime(int64(out.Elems())))
+	s.advance(end)
+	return out
+}
+
+// pairwiseTile computes one tile functionally with device semantics:
+// wide accumulation, then the device's output requantization stage
+// (the fixed-point realization of the Eq. 6/7 scale rules), then host
+// dequantization into the float result.
+func pairwiseTile(op isa.OpCode, qa, qb *tensor.MatrixI8, out *tensor.Matrix, sp tensor.Span, sa, sb float32, divisor int32) {
+	va := qa.View(sp.R0, sp.C0, sp.Rows, sp.Cols)
+	vb := qb.View(sp.R0, sp.C0, sp.Rows, sp.Cols)
+	var wide *tensor.MatrixI32
+	var dequant float32
+	switch op {
+	case isa.Add:
+		wide = edgetpu.Add(va, vb)
+		dequant = float32(divisor) / sa // realizes Eq. 6: out8 * divisor / s
+	case isa.Sub:
+		wide = edgetpu.Sub(va, vb)
+		dequant = float32(divisor) / sa
+	case isa.Mul:
+		wide = edgetpu.Mul(va, vb)
+		dequant = float32(divisor) / (sa * sb) // realizes Eq. 7
+	default:
+		panic("core: pairwiseTile bad op")
+	}
+	for r := 0; r < sp.Rows; r++ {
+		src := wide.Row(r)
+		for cix, v := range src {
+			out8 := quant.SaturateI8(roundDiv(v, divisor))
+			out.Set(sp.R0+r, sp.C0+cix, float32(out8)*dequant)
+		}
+	}
+}
+
+// i8AbsMax returns max(|v|) over a quantized matrix (0 for empty).
+func i8AbsMax(m *tensor.MatrixI8) int32 {
+	var best int32
+	for r := 0; r < m.Rows; r++ {
+		for _, v := range m.Row(r) {
+			w := int32(v)
+			if w < 0 {
+				w = -w
+			}
+			if w > best {
+				best = w
+			}
+		}
+	}
+	return best
+}
+
+// roundDiv divides with round-half-away-from-zero, the rounding mode
+// of fixed-point requantization stages.
+func roundDiv(v, d int32) int32 {
+	if v >= 0 {
+		return (v + d/2) / d
+	}
+	return (v - d/2) / d
+}
+
+// Tanh applies the tanh activation element-wise (Table 1).
+func (s *Stream) Tanh(a *Buffer) *tensor.Matrix { return s.elementwise(isa.Tanh, a) }
+
+// ReLU leaves only non-negative values (Table 1's ReLu).
+func (s *Stream) ReLU(a *Buffer) *tensor.Matrix { return s.elementwise(isa.ReLU, a) }
+
+func (s *Stream) elementwise(op isa.OpCode, a *Buffer) *tensor.Matrix {
+	if s.err != nil {
+		return nil
+	}
+	c := s.c
+	pa, qa, ready := c.ensureQuantized(a, s.now)
+	out := allocResult(c, a.Rows(), a.Cols())
+	tile := isa.TileFor(op)
+	spans := tensor.TileSpans(a.Rows(), a.Cols(), tile, tile)
+	works := make([]instrWork, 0, len(spans))
+	for i, sp := range spans {
+		sp := sp
+		w := instrWork{
+			instr: isa.Instruction{
+				Op: op, InRows: sp.Rows, InCols: sp.Cols,
+				TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor(),
+			},
+			inputs:   []inputRef{{key: mix(a.key, uint64(i)), bytes: int64(sp.Rows * sp.Cols)}},
+			outBytes: int64(sp.Rows * sp.Cols),
+			ready:    ready,
+		}
+		if c.opts.Functional {
+			w.fn = func() { elementwiseTile(op, qa, out, sp, pa.Scale) }
+		}
+		works = append(works, w)
+	}
+	end, err := c.runInstrs(works)
+	if err != nil {
+		s.fail(err)
+		return nil
+	}
+	end = c.chargeHost(end, c.params.QuantTime(int64(out.Elems())))
+	s.advance(end)
+	return out
+}
+
+func elementwiseTile(op isa.OpCode, qa *tensor.MatrixI8, out *tensor.Matrix, sp tensor.Span, sa float32) {
+	va := qa.View(sp.R0, sp.C0, sp.Rows, sp.Cols)
+	var res *tensor.MatrixI8
+	var dequant float32
+	switch op {
+	case isa.Tanh:
+		res = edgetpu.TanhLUT(va, sa)
+		dequant = 1.0 / quant.QMax // tanh outputs quantize to [-127,127] over [-1,1]
+	case isa.ReLU:
+		res = edgetpu.ReLU(va)
+		dequant = 1 / sa
+	default:
+		panic("core: elementwiseTile bad op")
+	}
+	for r := 0; r < sp.Rows; r++ {
+		src := res.Row(r)
+		for cix, v := range src {
+			out.Set(sp.R0+r, sp.C0+cix, float32(v)*dequant)
+		}
+	}
+}
+
+// Mean counts the average value of all elements (Table 1).
+func (s *Stream) Mean(a *Buffer) float32 { return s.reduce(isa.Mean, a) }
+
+// MaxReduce finds the maximum value within the matrix (Table 1).
+func (s *Stream) MaxReduce(a *Buffer) float32 { return s.reduce(isa.Max, a) }
+
+// reduce implements the matrix-wise operator rule of section 6.2.1:
+// 64x64 tiles each produce one value; by default CPU code aggregates
+// the received values (the paper's choice, because one device round
+// already shrinks the data by 4096x and data movement dominates);
+// with Options.OnDeviceReduce the runtime instead iterates additional
+// device rounds, the alternative the paper rejects.
+func (s *Stream) reduce(op isa.OpCode, a *Buffer) float32 {
+	if s.err != nil {
+		return 0
+	}
+	c := s.c
+	pa, qa, ready := c.ensureQuantized(a, s.now)
+	tile := isa.TileFor(op)
+	spans := tensor.TileSpans(a.Rows(), a.Cols(), tile, tile)
+
+	type partial struct {
+		sum   int64
+		max   int8
+		elems int
+	}
+	parts := make([]partial, len(spans))
+	outBytes := int64(1)
+	if op == isa.Mean {
+		outBytes = 4 // wide numerator comes back for exact CPU recombination
+	}
+	works := make([]instrWork, 0, len(spans))
+	for i, sp := range spans {
+		i, sp := i, sp
+		w := instrWork{
+			instr: isa.Instruction{
+				Op: op, InRows: sp.Rows, InCols: sp.Cols,
+				TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor(),
+			},
+			inputs:   []inputRef{{key: mix(a.key, 1000000+uint64(i)), bytes: int64(sp.Rows * sp.Cols)}},
+			outBytes: outBytes,
+			ready:    ready,
+		}
+		if c.opts.Functional {
+			w.fn = func() {
+				va := qa.View(sp.R0, sp.C0, sp.Rows, sp.Cols)
+				if op == isa.Mean {
+					sum, n := edgetpu.MeanSum(va)
+					parts[i] = partial{sum: sum, elems: n}
+				} else {
+					parts[i] = partial{max: edgetpu.MaxVal(va), elems: va.Elems()}
+				}
+			}
+		}
+		works = append(works, w)
+	}
+	end, err := c.runInstrs(works)
+	if err != nil {
+		s.fail(err)
+		return 0
+	}
+
+	if c.opts.OnDeviceReduce {
+		// Alternative: repeatedly re-encode the received values as a
+		// new input tensor and reduce on-device until one value
+		// remains. Functionally identical; costs extra encode,
+		// transfer and instruction rounds.
+		n := len(spans)
+		for n > 1 {
+			rows := (n + tile - 1) / tile
+			if rows > tile {
+				rows = tile
+			}
+			cols := (n + rows - 1) / rows
+			end = c.chargeHost(end, c.params.QuantTime(int64(n))+c.params.TensorizerEncodeTime(int64(n)))
+			round := []instrWork{{
+				instr: isa.Instruction{Op: op, InRows: rows, InCols: cols,
+					TaskID: s.taskID, InputKey: c.nextKey(), QuantFlags: c.quantFlagsFor()},
+				inputs:   []inputRef{{key: c.nextKey(), bytes: int64(n)}},
+				outBytes: outBytes,
+				ready:    end,
+			}}
+			end, err = c.runInstrs(round)
+			if err != nil {
+				s.fail(err)
+				return 0
+			}
+			n = (n + rows*cols - 1) / (rows * cols)
+		}
+	} else {
+		// CPU aggregation of one value per tile.
+		end = c.chargeHost(end, c.params.AggTime(int64(len(spans))))
+	}
+	s.advance(end)
+
+	if !c.opts.Functional {
+		return 0
+	}
+	if op == isa.Mean {
+		var sum int64
+		var n int
+		for _, p := range parts {
+			sum += p.sum
+			n += p.elems
+		}
+		if n == 0 {
+			return 0
+		}
+		return float32(float64(sum) / float64(n) / float64(pa.Scale))
+	}
+	best := int8(math.MinInt8)
+	for _, p := range parts {
+		if p.elems > 0 && p.max > best {
+			best = p.max
+		}
+	}
+	return float32(best) / pa.Scale
+}
+
+// Crop removes all elements outside the given sub-matrix and returns
+// it (Table 1); LUD's recursive partitioning uses it (section 7.2.3).
+func (s *Stream) Crop(a *Buffer, r0, c0, rows, cols int) *tensor.Matrix {
+	if s.err != nil {
+		return nil
+	}
+	checkShapes("crop", r0 >= 0 && c0 >= 0 && rows >= 0 && cols >= 0 && r0+rows <= a.Rows() && c0+cols <= a.Cols(),
+		"window (%d,%d)+%dx%d outside %dx%d", r0, c0, rows, cols, a.Rows(), a.Cols())
+	c := s.c
+	pa, qa, ready := c.ensureQuantized(a, s.now)
+	w := instrWork{
+		instr: isa.Instruction{Op: isa.Crop, InRows: a.Rows(), InCols: a.Cols(),
+			TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor()},
+		inputs:   []inputRef{{key: a.key, bytes: int64(a.M.Elems())}},
+		outBytes: int64(rows * cols),
+		ready:    ready,
+	}
+	var out *tensor.Matrix
+	if c.opts.Functional {
+		w.fn = func() {
+			sub := edgetpu.Crop(qa, r0, c0, rows, cols)
+			out = quant.Dequantize(sub, pa)
+		}
+	} else {
+		out = nil
+	}
+	end, err := c.runInstrs([]instrWork{w})
+	if err != nil {
+		s.fail(err)
+		return nil
+	}
+	end = c.chargeHost(end, c.params.QuantTime(int64(rows*cols)))
+	s.advance(end)
+	if !c.opts.Functional {
+		return tensor.ShapeOnly(rows, cols)
+	}
+	return out
+}
+
+// Ext pads the matrix to the target dimensionality (Table 1).
+func (s *Stream) Ext(a *Buffer, rows, cols int) *tensor.Matrix {
+	if s.err != nil {
+		return nil
+	}
+	checkShapes("ext", rows >= a.Rows() && cols >= a.Cols(),
+		"target %dx%d smaller than %dx%d", rows, cols, a.Rows(), a.Cols())
+	c := s.c
+	pa, qa, ready := c.ensureQuantized(a, s.now)
+	w := instrWork{
+		instr: isa.Instruction{Op: isa.Ext, InRows: a.Rows(), InCols: a.Cols(),
+			TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor()},
+		inputs:   []inputRef{{key: a.key, bytes: int64(a.M.Elems())}},
+		outBytes: int64(rows * cols),
+		ready:    ready,
+	}
+	var out *tensor.Matrix
+	if c.opts.Functional {
+		w.fn = func() {
+			padded := edgetpu.Ext(qa, rows, cols)
+			out = quant.Dequantize(padded, pa)
+		}
+	}
+	end, err := c.runInstrs([]instrWork{w})
+	if err != nil {
+		s.fail(err)
+		return nil
+	}
+	end = c.chargeHost(end, c.params.QuantTime(int64(rows*cols)))
+	s.advance(end)
+	if !c.opts.Functional {
+		return tensor.ShapeOnly(rows, cols)
+	}
+	return out
+}
+
+// allocResult allocates a functional result matrix, or a shape-only
+// descriptor in timing-only mode (paper-scale sweeps must not
+// materialize gigabyte outputs).
+func allocResult(c *Context, rows, cols int) *tensor.Matrix {
+	if !c.opts.Functional {
+		return tensor.ShapeOnly(rows, cols)
+	}
+	return tensor.New(rows, cols)
+}
+
+func maxDur(a, b timing.Duration) timing.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// MatMulPrecise is the high-precision GEMM library function built on
+// the dual-portion technique the paper's section 10 highlights as a
+// GPTPU capability: "GPTPU can achieve the desired level of precision
+// by iteratively computing on different portions of raw input
+// numbers."
+//
+// Each operand splits into a coarse portion that quantizes to int8
+// exactly and a fine residual 254x smaller; three tpuGemm passes
+// reconstruct the product with ~16-bit effective input precision
+// (the lo*lo term, ~1/254^2 relative, is dropped):
+//
+//	A*B ~ A_hi*B_hi + A_hi*B_lo + A_lo*B_hi
+//
+// The cost is three device passes plus a host combination pass —
+// the explicit accuracy/latency trade the framework exposes.
+func (s *Stream) MatMulPrecise(a, b *Buffer) *tensor.Matrix {
+	if s.err != nil {
+		return nil
+	}
+	checkShapes("tpuGemm-precise", a.Cols() == b.Rows(),
+		"inner dimensions %d vs %d", a.Cols(), b.Rows())
+	c := s.c
+
+	aHi, aLo := c.splitPortions(a)
+	bHi, bLo := c.splitPortions(b)
+
+	hh := s.MatMul(aHi, bHi)
+	hl := s.MatMul(aHi, bLo)
+	lh := s.MatMul(aLo, bHi)
+	if s.err != nil {
+		return nil
+	}
+
+	out := allocResult(c, a.Rows(), b.Cols())
+	if c.opts.Functional {
+		for i := range out.Data {
+			out.Data[i] = hh.Data[i] + hl.Data[i] + lh.Data[i]
+		}
+	}
+	// Host combination of the three wide partial products.
+	end := c.chargeHost(s.now, c.params.AggTime(2*int64(out.Elems())))
+	s.advance(end)
+	return out
+}
+
+// splitPortions builds the coarse/fine portion buffers of b's data and
+// charges the host-side split pass. The coarse portion holds exactly
+// the values int8 quantization can represent (so its own quantization
+// inside MatMul is lossless); the residual carries the rounding error
+// at 254x finer granularity.
+func (c *Context) splitPortions(b *Buffer) (hi, lo *Buffer) {
+	if !c.opts.Functional {
+		m := tensor.ShapeOnly(b.Rows(), b.Cols())
+		c.ChargeHostWork(c.params.QuantTime(int64(b.M.Elems())))
+		return c.NewBuffer(m), c.NewBuffer(tensor.ShapeOnly(b.Rows(), b.Cols()))
+	}
+	hiM, loM, _ := quant.SplitPortions(b.M)
+	c.ChargeHostWork(c.params.QuantTime(int64(b.M.Elems())))
+	return c.NewBuffer(hiM), c.NewBuffer(loM)
+}

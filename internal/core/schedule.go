@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/edgetpu"
+	"repro/internal/isa"
+	"repro/internal/timing"
+)
+
+// ErrNoDevices is returned when every Edge TPU in the pool has failed.
+var ErrNoDevices = errors.New("core: no healthy Edge TPUs")
+
+// inputRef identifies one device-side operand of an instruction: its
+// identity for residency tracking and its on-wire size.
+type inputRef struct {
+	key   uint64
+	bytes int64
+	// ready is when this operand's host-side form exists; zero means
+	// the instruction's own ready time. Operands quantized earlier
+	// (e.g. a resident weight matrix) can prefetch over the link while
+	// the device still executes prior work.
+	ready timing.Duration
+}
+
+// instrWork is one IQ entry ready for dispatch: the instruction, its
+// operands, the result size to download, and the closure that computes
+// the functional result (nil in timing-only mode).
+type instrWork struct {
+	instr    isa.Instruction
+	count    int // number of identical instructions (0 means 1)
+	inputs   []inputRef
+	outBytes int64
+	ready    timing.Duration // earliest issue time (host data ready)
+	fn       func()
+}
+
+func (w *instrWork) n() int {
+	if w.count <= 0 {
+		return 1
+	}
+	return w.count
+}
+
+// pickDevice implements the section 6.1 policy: an instruction whose
+// (input, quantization flags, task ID) triple matches a previous
+// assignment is sent to the same Edge TPU — "a scheduling approach
+// that reduces movement overhead and the number of data
+// transformations required". Other instructions are assigned
+// first-come-first-serve to the earliest-available device.
+func (c *Context) pickDevice(w *instrWork, healthy []*edgetpu.Device) *edgetpu.Device {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Affinity keys on the primary operand only (the large model/tile
+	// input); keying on small shared operands like an iteration vector
+	// would collapse every instruction onto one device.
+	var k affinityKey
+	if c.opts.LocalityScheduling && len(w.inputs) > 0 {
+		k = affinityKey{input: w.inputs[0].key, flags: w.instr.QuantFlags, task: w.instr.TaskID}
+		if id, ok := c.affinity[k]; ok {
+			for _, d := range healthy {
+				if d.ID == id {
+					return d
+				}
+			}
+		}
+	}
+	// FCFS: earliest-available compute unit, round-robin on ties.
+	best := healthy[c.rr%len(healthy)]
+	for i := 1; i < len(healthy); i++ {
+		d := healthy[(c.rr+i)%len(healthy)]
+		if d.Compute().AvailableAt() < best.Compute().AvailableAt() {
+			best = d
+		}
+	}
+	c.rr++
+	if c.opts.LocalityScheduling && len(w.inputs) > 0 {
+		c.affinity[k] = best.ID
+	}
+	return best
+}
+
+// dispatchOne charges one instruction's full pipeline — operand
+// uploads (skipped on residency hits), matrix-unit execution, result
+// download — on a chosen device, retrying on other devices if the
+// chosen one fails mid-flight.
+func (c *Context) dispatchOne(w *instrWork) (timing.Duration, error) {
+	for {
+		healthy := c.Pool.Healthy()
+		if len(healthy) == 0 {
+			return 0, ErrNoDevices
+		}
+		d := c.pickDevice(w, healthy)
+		end, err := c.tryOn(d, w)
+		if err == nil {
+			return end, nil
+		}
+		if errors.Is(err, edgetpu.ErrDeviceLost) {
+			continue // re-pick among remaining healthy devices
+		}
+		return 0, err
+	}
+}
+
+func (c *Context) tryOn(d *edgetpu.Device, w *instrWork) (timing.Duration, error) {
+	at := w.ready
+	for _, in := range w.inputs {
+		ready := in.ready
+		if ready == 0 {
+			ready = w.ready
+		}
+		t, err := d.Upload(in.key, in.bytes, ready)
+		if err != nil {
+			return 0, err
+		}
+		if t > at {
+			at = t
+		}
+	}
+	at, err := d.ExecN(&w.instr, w.n(), at)
+	if err != nil {
+		return 0, err
+	}
+	at, err = d.Download(w.outBytes, at)
+	if err != nil {
+		return 0, err
+	}
+	c.TL.Observe(at)
+	return at, nil
+}
+
+// runInstrs dispatches a batch of IQ entries, runs their functional
+// closures on the real machine's cores, and returns the virtual time
+// at which the last one completes.
+func (c *Context) runInstrs(works []instrWork) (timing.Duration, error) {
+	var last timing.Duration
+	for i := range works {
+		end, err := c.dispatchOne(&works[i])
+		if err != nil {
+			return 0, err
+		}
+		if end > last {
+			last = end
+		}
+	}
+	if c.opts.Functional {
+		runClosures(works)
+	}
+	return last, nil
+}
+
+// runClosures executes functional closures concurrently; virtual-time
+// accounting is already complete and deterministic by this point.
+func runClosures(works []instrWork) {
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range works {
+		fn := works[i].fn
+		if fn == nil {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+
+// chargeHost charges d units of runtime-CPU work ready at the given
+// time and returns its completion.
+func (c *Context) chargeHost(ready, d timing.Duration) timing.Duration {
+	_, end := c.Host.Acquire(ready, d)
+	c.TL.Observe(end)
+	return end
+}
+
+// checkShapes panics with a descriptive message when operand shapes
+// disagree; operator front-ends use it for argument validation.
+func checkShapes(op string, ok bool, format string, args ...any) {
+	if !ok {
+		panic(fmt.Sprintf("core: %s: %s", op, fmt.Sprintf(format, args...)))
+	}
+}

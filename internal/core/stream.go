@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// Stream is one serial chain of TPU operations: the execution context
+// of a single OPQ task. Operations on a stream are serialized with
+// respect to each other ("all TPU operations within a task will
+// perform in serial", paper section 5), while separate streams — like
+// separate tasks — run concurrently on the machine's resources.
+//
+// Errors are sticky: after a failure every subsequent operation is a
+// no-op and Err returns the first error.
+type Stream struct {
+	c      *Context
+	taskID int
+	now    timing.Duration
+	err    error
+}
+
+// NewStream opens an independent serial operation chain.
+func (c *Context) NewStream() *Stream {
+	return &Stream{c: c, taskID: c.nextTask()}
+}
+
+// Now returns the stream's virtual clock: the completion time of its
+// last operation.
+func (s *Stream) Now() timing.Duration { return s.now }
+
+// Err returns the first error the stream encountered, if any.
+func (s *Stream) Err() error { return s.err }
+
+// Context returns the owning context.
+func (s *Stream) Context() *Context { return s.c }
+
+// fail records a sticky error.
+func (s *Stream) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// advance moves the stream clock to the given completion time.
+func (s *Stream) advance(end timing.Duration) {
+	if end > s.now {
+		s.now = end
+	}
+	s.c.TL.Observe(s.now)
+}
+
+// mix produces a derived input identity for tile idx of base input
+// key (64-bit mixing, collision probability negligible for the tile
+// counts involved).
+func mix(base uint64, idx uint64) uint64 {
+	x := base*0x9E3779B97F4A7C15 ^ (idx+1)*0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	x *= 0x94D049BB133111EB
+	x ^= x >> 29
+	return x
+}
+
+// derived is a cached alternative quantized form of a buffer (e.g. a
+// joint-scale re-quantization for add/sub, or the conv2D-GEMM
+// reshaped layout). Each form has its own input identity so device
+// residency distinguishes it from the buffer's primary model.
+type derived struct {
+	key     uint64
+	q       *tensor.MatrixI8
+	scale   float32
+	readyAt timing.Duration
+}
+
+// derivedQuant returns (building and charging on first use) a derived
+// quantized form of b identified by tag. build runs only in
+// functional mode and must return the int8 form at the given scale.
+// elems is the logical size charged to the host-side transformation.
+func (c *Context) derivedQuant(b *Buffer, tag string, scale float32, elems int64, ready timing.Duration, build func() *tensor.MatrixI8) *derived {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.derivedForms == nil {
+		b.derivedForms = make(map[string]*derived)
+	}
+	if d, ok := b.derivedForms[tag]; ok {
+		if d.readyAt < ready {
+			// Cached: availability is the later of cache-fill time and
+			// the caller's ready time.
+			d2 := *d
+			d2.readyAt = ready
+			return &d2
+		}
+		return d
+	}
+	cost := c.params.QuantTime(elems)
+	if c.opts.FastModelPath {
+		cost += c.params.TensorizerEncodeTime(elems)
+	} else {
+		cost += c.params.RefCompileTime(elems)
+	}
+	_, end := c.Host.Acquire(ready, cost)
+	c.TL.Observe(end)
+	d := &derived{key: c.nextKey(), scale: scale, readyAt: end}
+	if c.opts.Functional && build != nil {
+		d.q = build()
+	}
+	b.derivedForms[tag] = d
+	return d
+}
+
+// scaleTag renders a scale factor into a stable cache tag.
+func scaleTag(prefix string, scale float32) string {
+	return fmt.Sprintf("%s:%08x", prefix, math.Float32bits(scale))
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Task is one entry of the front-end task operation queue (OPQ): an
+// instance of a programmer-supplied kernel function. Tasks "can
+// perform out of order in parallel" while operations inside a task
+// serialize (paper section 5); Wait and the context's Sync are the
+// synchronization primitives of Table 2 (openctpu_wait and
+// openctpu_sync).
+type Task struct {
+	ID int
+
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks the calling thread until the task returns
+// (openctpu_wait) and reports its error, if any.
+func (t *Task) Wait() error {
+	<-t.done
+	return t.err
+}
+
+// Enqueue submits a kernel function to the OPQ (openctpu_enqueue):
+// the runtime allocates a task ID, opens a serial stream for the
+// kernel's operator invocations, and executes the kernel
+// concurrently with other tasks.
+func (c *Context) Enqueue(kernel func(s *Stream)) *Task {
+	s := c.NewStream()
+	t := &Task{ID: s.taskID, done: make(chan struct{})}
+	c.mu.Lock()
+	c.pending = append(c.pending, t)
+	c.mu.Unlock()
+	go func() {
+		defer close(t.done)
+		defer func() {
+			if r := recover(); r != nil {
+				t.err = fmt.Errorf("core: task %d panicked: %v", t.ID, r)
+			}
+		}()
+		kernel(s)
+		if t.err == nil {
+			t.err = s.Err()
+		}
+	}()
+	return t
+}
+
+// Sync requires all enqueued tasks to complete before it returns
+// (openctpu_sync) and reports the first task error encountered.
+func (c *Context) Sync() error {
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	var first error
+	for _, t := range pending {
+		if err := t.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

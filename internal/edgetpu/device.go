@@ -1,0 +1,219 @@
+package edgetpu
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/pcie"
+	"repro/internal/timing"
+)
+
+// ErrDeviceLost is returned once a device has been failed via Fail;
+// the runtime reroutes queued instructions to healthy devices. This
+// exercises the multi-TPU scheduler's fault path, which the physical
+// testbed exhibits when a module drops off the PCIe bus.
+var ErrDeviceLost = errors.New("edgetpu: device lost")
+
+// ErrModelTooLarge is returned when a single upload exceeds the 8 MB
+// on-chip memory; the Tensorizer must partition harder.
+var ErrModelTooLarge = errors.New("edgetpu: model exceeds on-chip memory")
+
+// Device is one simulated Edge TPU: a compute unit (the matrix unit
+// plus activation pipeline, serially occupied per instruction), a PCIe
+// link (owned by the Interconnect), and 8 MB of on-chip data memory
+// with LRU residency. Residency is what makes the section 6.1
+// scheduling rule profitable: instructions that share an input on the
+// same device skip the transfer.
+type Device struct {
+	ID int
+
+	params *timing.Params
+	ic     *pcie.Interconnect
+	comp   *timing.Resource
+
+	mu        sync.Mutex
+	failed    bool
+	memUsed   int64
+	resident  map[uint64]*list.Element // values are *residentEntry
+	lru       *list.List               // front = most recently used
+	execs     int64
+	hits      int64 // uploads satisfied from on-chip residency
+	misses    int64 // uploads that crossed the interconnect
+	evictions int64
+}
+
+type residentEntry struct {
+	key   uint64
+	bytes int64
+}
+
+// NewDevice builds device id on the shared timeline and interconnect.
+func NewDevice(id int, tl *timing.Timeline, ic *pcie.Interconnect, params *timing.Params) *Device {
+	return &Device{
+		ID:       id,
+		params:   params,
+		ic:       ic,
+		comp:     tl.NewResource(fmt.Sprintf("edgetpu%d", id)),
+		resident: make(map[uint64]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Fail marks the device lost; subsequent calls return ErrDeviceLost.
+func (d *Device) Fail() {
+	d.mu.Lock()
+	d.failed = true
+	d.mu.Unlock()
+}
+
+// Healthy reports whether the device is usable.
+func (d *Device) Healthy() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.failed
+}
+
+// Execs returns the number of instructions executed, for scheduler
+// tests and utilization reports.
+func (d *Device) Execs() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.execs
+}
+
+// Resident reports whether the input identified by key currently
+// occupies on-chip memory.
+func (d *Device) Resident(key uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.resident[key]
+	return ok
+}
+
+// MemUsed returns the occupied on-chip bytes.
+func (d *Device) MemUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.memUsed
+}
+
+// ComputeBusy returns the total matrix-unit busy time (for energy).
+func (d *Device) ComputeBusy() timing.Duration { return d.comp.BusyTime() }
+
+// ResidencyStats reports how the 8 MB on-chip memory behaved: uploads
+// satisfied from residency (no transfer), uploads that crossed the
+// interconnect, and LRU evictions. The section 6.1 scheduling rule
+// exists to maximize the hit column.
+func (d *Device) ResidencyStats() (hits, misses, evictions int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hits, d.misses, d.evictions
+}
+
+// Compute exposes the matrix-unit resource for scheduler queries.
+func (d *Device) Compute() *timing.Resource { return d.comp }
+
+// Upload ensures the input identified by key (bytes long) is resident
+// on-chip, transferring it over the device's PCIe link if needed, and
+// returns the time at which it is available. Zero-key inputs (pure
+// host constants) are free.
+func (d *Device) Upload(key uint64, bytes int64, ready timing.Duration) (timing.Duration, error) {
+	d.mu.Lock()
+	if d.failed {
+		d.mu.Unlock()
+		return ready, ErrDeviceLost
+	}
+	if bytes > d.params.TPUMemBytes {
+		d.mu.Unlock()
+		return ready, fmt.Errorf("%w: %d bytes > %d", ErrModelTooLarge, bytes, d.params.TPUMemBytes)
+	}
+	if el, ok := d.resident[key]; ok {
+		d.lru.MoveToFront(el)
+		d.hits++
+		d.mu.Unlock()
+		return ready, nil // residency hit: no transfer
+	}
+	d.misses++
+	// Evict least-recently-used entries until the new input fits.
+	for d.memUsed+bytes > d.params.TPUMemBytes {
+		back := d.lru.Back()
+		victim := back.Value.(*residentEntry)
+		d.memUsed -= victim.bytes
+		delete(d.resident, victim.key)
+		d.lru.Remove(back)
+		d.evictions++
+	}
+	d.resident[key] = d.lru.PushFront(&residentEntry{key: key, bytes: bytes})
+	d.memUsed += bytes
+	d.mu.Unlock()
+	return d.ic.Transfer(d.ID, bytes, ready), nil
+}
+
+// Exec charges the device for one instruction ready at the given time
+// and returns its completion time. The caller performs the functional
+// computation with the ops in this package; Exec accounts only time.
+func (d *Device) Exec(in *isa.Instruction, ready timing.Duration) (timing.Duration, error) {
+	return d.ExecN(in, 1, ready)
+}
+
+// ExecN charges the device for n identical back-to-back instructions
+// (the Tensorizer issues homogeneous instruction batches; charging
+// them in one acquisition is equivalent to n serial acquisitions).
+func (d *Device) ExecN(in *isa.Instruction, n int, ready timing.Duration) (timing.Duration, error) {
+	if n <= 0 {
+		return ready, nil
+	}
+	d.mu.Lock()
+	if d.failed {
+		d.mu.Unlock()
+		return ready, ErrDeviceLost
+	}
+	d.execs += int64(n)
+	d.mu.Unlock()
+	_, end := d.comp.Acquire(ready, time.Duration(n)*d.params.InstrTime(in))
+	return end, nil
+}
+
+// Download transfers result bytes back to the host and returns the
+// completion time.
+func (d *Device) Download(bytes int64, ready timing.Duration) (timing.Duration, error) {
+	d.mu.Lock()
+	if d.failed {
+		d.mu.Unlock()
+		return ready, ErrDeviceLost
+	}
+	d.mu.Unlock()
+	return d.ic.Transfer(d.ID, bytes, ready), nil
+}
+
+// Pool is the set of Edge TPUs attached to one simulated machine (the
+// prototype hosts up to 8, paper section 3.1).
+type Pool struct {
+	Devices []*Device
+	IC      *pcie.Interconnect
+}
+
+// NewPool builds n devices on a shared timeline and interconnect.
+func NewPool(tl *timing.Timeline, params *timing.Params, n int) *Pool {
+	ic := pcie.New(tl, params, n)
+	p := &Pool{IC: ic}
+	for i := 0; i < n; i++ {
+		p.Devices = append(p.Devices, NewDevice(i, tl, ic, params))
+	}
+	return p
+}
+
+// Healthy returns the usable devices.
+func (p *Pool) Healthy() []*Device {
+	var out []*Device
+	for _, d := range p.Devices {
+		if d.Healthy() {
+			out = append(out, d)
+		}
+	}
+	return out
+}

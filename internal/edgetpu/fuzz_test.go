@@ -1,0 +1,36 @@
+package edgetpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// FuzzInstructionPacket hammers the instruction decoder and the
+// interpreter: neither may panic, and accepted packets must execute
+// into decodable result models.
+func FuzzInstructionPacket(f *testing.F) {
+	q := tensor.NewI8(4, 4)
+	for i := range q.Data {
+		q.Data[i] = int8(i)
+	}
+	mod := model.FromI8(q, 1)
+	if pkt, err := EncodeInstruction(isa.ReLU, InstrParams{}, mod); err == nil {
+		f.Add(pkt)
+	}
+	if pkt, err := EncodeInstruction(isa.Mul, InstrParams{RequantDivisor: 127}, mod, mod); err == nil {
+		f.Add(pkt)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := (Interpreter{}).Execute(data)
+		if err != nil {
+			return
+		}
+		if _, err := model.Decode(res); err != nil {
+			t.Fatalf("interpreter produced undecodable result: %v", err)
+		}
+	})
+}

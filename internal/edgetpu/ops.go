@@ -1,0 +1,195 @@
+// Package edgetpu is the functional + timed simulator of a Google
+// Edge TPU as characterized in paper section 3: a matrix processor
+// with a 128x128x8-bit matrix unit, 8 MB of on-chip data memory, no
+// instruction cache (the host issues CISC instructions over PCIe),
+// and the eleven operators of Table 1.
+//
+// Functional semantics are bit-exact int8 arithmetic with 32-bit
+// accumulators, so quantization error measured by the experiments is
+// real, not modelled. Latency is charged separately through the
+// timing package's calibrated cost model.
+package edgetpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Conv2D performs the Edge TPU conv2D instruction (Equation 9 with
+// the optional striding of Figure 5): for each output channel kernel
+// K and each stride-aligned window anchored at (i*sr, j*sc),
+//
+//	out[i][j][ch] = sum_{p,q} in[i*sr+p][j*sc+q] * K[p][q]
+//
+// with zero padding past the input's bottom/right edges, matching the
+// paper's observation that conv2D "can produce a result matrix that
+// has the same size as the non-kernel input" when unstrided. Results
+// are exact 32-bit accumulations; one output matrix is returned per
+// kernel (output channel).
+func Conv2D(in *tensor.MatrixI8, kernels []*tensor.MatrixI8, strideR, strideC int) []*tensor.MatrixI32 {
+	if strideR <= 0 {
+		strideR = 1
+	}
+	if strideC <= 0 {
+		strideC = 1
+	}
+	outs := make([]*tensor.MatrixI32, len(kernels))
+	outR := (in.Rows + strideR - 1) / strideR
+	outC := (in.Cols + strideC - 1) / strideC
+	for ch, k := range kernels {
+		out := tensor.NewI32(outR, outC)
+		for i := 0; i < outR; i++ {
+			for j := 0; j < outC; j++ {
+				var acc int32
+				baseR, baseC := i*strideR, j*strideC
+				for p := 0; p < k.Rows; p++ {
+					r := baseR + p
+					if r >= in.Rows {
+						break
+					}
+					inRow := in.Row(r)
+					kRow := k.Row(p)
+					maxQ := k.Cols
+					if baseC+maxQ > in.Cols {
+						maxQ = in.Cols - baseC
+					}
+					for q := 0; q < maxQ; q++ {
+						acc += int32(inRow[baseC+q]) * int32(kRow[q])
+					}
+				}
+				out.Set(i, j, acc)
+			}
+		}
+		outs[ch] = out
+	}
+	return outs
+}
+
+// FullyConnected performs the Edge TPU FullyConnected instruction:
+// the input vector multiplies a weight matrix (Table 1), producing
+// one 32-bit accumulator per weight row.
+func FullyConnected(weights *tensor.MatrixI8, vec []int8) []int32 {
+	if len(vec) != weights.Cols {
+		panic(fmt.Sprintf("edgetpu: FullyConnected vector length %d != weight cols %d", len(vec), weights.Cols))
+	}
+	out := make([]int32, weights.Rows)
+	for r := 0; r < weights.Rows; r++ {
+		row := weights.Row(r)
+		var acc int32
+		for c, w := range row {
+			acc += int32(w) * int32(vec[c])
+		}
+		out[r] = acc
+	}
+	return out
+}
+
+// Add performs pair-wise addition on two matrices with wide results.
+func Add(a, b *tensor.MatrixI8) *tensor.MatrixI32 {
+	return pairwise(a, b, func(x, y int32) int32 { return x + y })
+}
+
+// Sub performs pair-wise subtraction on two matrices with wide results.
+func Sub(a, b *tensor.MatrixI8) *tensor.MatrixI32 {
+	return pairwise(a, b, func(x, y int32) int32 { return x - y })
+}
+
+// Mul performs pair-wise multiplication on two matrices with wide results.
+func Mul(a, b *tensor.MatrixI8) *tensor.MatrixI32 {
+	return pairwise(a, b, func(x, y int32) int32 { return x * y })
+}
+
+func pairwise(a, b *tensor.MatrixI8, f func(x, y int32) int32) *tensor.MatrixI32 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("edgetpu: pairwise shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := tensor.NewI32(a.Rows, a.Cols)
+	for r := 0; r < a.Rows; r++ {
+		ra, rb, ro := a.Row(r), b.Row(r), out.Row(r)
+		for i := range ra {
+			ro[i] = f(int32(ra[i]), int32(rb[i]))
+		}
+	}
+	return out
+}
+
+// Crop removes all elements outside the given sub-matrix and returns
+// the sub-matrix (Table 1).
+func Crop(in *tensor.MatrixI8, r0, c0, rows, cols int) *tensor.MatrixI8 {
+	return in.View(r0, c0, rows, cols).Clone()
+}
+
+// Ext pads a matrix to the target dimensionality and returns the
+// padded matrix (Table 1).
+func Ext(in *tensor.MatrixI8, rows, cols int) *tensor.MatrixI8 {
+	return in.Pad(rows, cols)
+}
+
+// MeanSum returns the exact element sum and count for the mean
+// instruction. The device reports the average; GPTPU's CPU-side
+// aggregation recombines tile sums so it keeps the wide numerator
+// (paper section 6.2.1), which this API exposes directly.
+func MeanSum(in *tensor.MatrixI8) (sum int64, count int) {
+	for r := 0; r < in.Rows; r++ {
+		for _, v := range in.Row(r) {
+			sum += int64(v)
+		}
+	}
+	return sum, in.Elems()
+}
+
+// MaxVal finds the maximum value within a matrix (Table 1).
+func MaxVal(in *tensor.MatrixI8) int8 {
+	if in.Elems() == 0 {
+		panic("edgetpu: max of empty matrix")
+	}
+	best := in.At(0, 0)
+	for r := 0; r < in.Rows; r++ {
+		for _, v := range in.Row(r) {
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// TanhLUT applies the tanh activation element-wise via the device's
+// fixed-point lookup-table semantics: inputs are dequantized with
+// inScale, tanh is applied, and outputs are requantized with scale
+// QMax (tanh's range is [-1, 1]).
+func TanhLUT(in *tensor.MatrixI8, inScale float32) *tensor.MatrixI8 {
+	out := tensor.NewI8(in.Rows, in.Cols)
+	// 256-entry LUT, exactly how low-precision accelerators realize
+	// activations.
+	var lut [256]int8
+	for i := 0; i < 256; i++ {
+		v := float64(int8(i)) / float64(inScale)
+		lut[i] = quant.SaturateI8(int32(math.RoundToEven(math.Tanh(v) * quant.QMax)))
+	}
+	for r := 0; r < in.Rows; r++ {
+		src, dst := in.Row(r), out.Row(r)
+		for i, v := range src {
+			dst[i] = lut[uint8(v)]
+		}
+	}
+	return out
+}
+
+// ReLU leaves only non-negative values on a matrix (Table 1's
+// description of ReLu).
+func ReLU(in *tensor.MatrixI8) *tensor.MatrixI8 {
+	out := tensor.NewI8(in.Rows, in.Cols)
+	for r := 0; r < in.Rows; r++ {
+		src, dst := in.Row(r), out.Row(r)
+		for i, v := range src {
+			if v > 0 {
+				dst[i] = v
+			}
+		}
+	}
+	return out
+}

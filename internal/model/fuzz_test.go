@@ -1,0 +1,53 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzDecode hammers the on-wire model parser: it must never panic,
+// and anything it accepts must re-encode to the same bytes.
+func FuzzDecode(f *testing.F) {
+	mod, _ := buildRandomFuzz(3, 5)
+	f.Add(mod.Encode())
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize+12))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Fatalf("accepted input does not round-trip")
+		}
+	})
+}
+
+// FuzzDecodeFrom does the same through the streaming path.
+func FuzzDecodeFrom(f *testing.F) {
+	mod, _ := buildRandomFuzz(4, 6)
+	f.Add(mod.Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := m.EncodeTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:buf.Len()]) {
+			t.Fatal("accepted stream does not round-trip")
+		}
+	})
+}
+
+func buildRandomFuzz(rows, cols int) (*Model, struct{}) {
+	q := tensor.NewI8(rows, cols)
+	for i := range q.Data {
+		q.Data[i] = int8(i*7 - 30)
+	}
+	return &Model{Rows: rows, Cols: cols, Scale: 2, Data: q}, struct{}{}
+}

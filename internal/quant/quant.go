@@ -1,0 +1,303 @@
+// Package quant implements the quantization and calibration machinery
+// of the GPTPU Tensorizer (paper section 6.2.2): symmetric int8
+// quantization of host float data, the operator-specific scale-factor
+// rules of Equations 4-8, sampling-based range calibration, and the
+// requantization helpers device results pass through.
+//
+// The Edge TPU matrix unit computes on 8-bit integers; GPTPU "carefully
+// rescales values into fixed-point numbers" so that the estimated
+// output range of the requested operator chain never overflows, which
+// is what these rules encode.
+package quant
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// QMax is the symmetric int8 quantization ceiling. GPTPU uses the
+// symmetric range [-127, 127] so that a value and its negation always
+// round-trip identically.
+const QMax = 127
+
+// Method selects the quantization policy a kernel requests via the
+// flags argument of openctpu_invoke_operator (paper Figure 3 passes
+// SCALE).
+type Method int
+
+const (
+	// MethodScale is the paper's SCALE policy: a single symmetric
+	// scale factor derived from the dataset's absolute maximum.
+	MethodScale Method = iota
+	// MethodSampled estimates the range from a random sample of the
+	// input, the optimization section 6.2.2 describes for large
+	// datasets ("small subset of input data is representative").
+	MethodSampled
+)
+
+// Params records how a tensor was mapped to int8. Raw values are
+// multiplied by Scale to produce the stored 8-bit integers, matching
+// the reverse-engineered model metadata ("an 8-bit integer value in
+// the data section is calculated by multiplying its raw value by f",
+// paper section 3.3).
+type Params struct {
+	Scale float32
+}
+
+// Dequant returns the raw value a stored int8 q represents.
+func (p Params) Dequant(q int8) float32 { return float32(q) / p.Scale }
+
+// ScaleFor returns the symmetric scale factor for data whose absolute
+// maximum is absMax. Zero-range data quantizes with scale 1 so that
+// all-zero tensors round-trip exactly.
+func ScaleFor(absMax float32) float32 {
+	if absMax <= 0 || math.IsNaN(float64(absMax)) {
+		return 1
+	}
+	return QMax / absMax
+}
+
+// SaturateI8 clamps a wide value into int8 range, the behaviour of the
+// device's output requantization stage.
+func SaturateI8(v int32) int8 {
+	if v > QMax {
+		return QMax
+	}
+	if v < -QMax-1 {
+		return -QMax - 1
+	}
+	return int8(v)
+}
+
+// RoundToI8 scales and saturates a float into int8.
+func RoundToI8(v, scale float32) int8 {
+	return SaturateI8(int32(math.RoundToEven(float64(v * scale))))
+}
+
+// Quantize maps m to int8 with a symmetric scale derived from its
+// absolute maximum and returns the quantized matrix and parameters.
+func Quantize(m *tensor.Matrix) (*tensor.MatrixI8, Params) {
+	scale := ScaleFor(m.AbsMax())
+	return QuantizeWith(m, Params{Scale: scale}), Params{Scale: scale}
+}
+
+// ParamsFor picks quantization parameters for m with the Tensorizer's
+// exactness-preserving calibration: datasets whose values are already
+// integers inside the int8 range quantize losslessly with scale 1
+// (this is why the paper's Table 4 reports 0.00% error for Gaussian
+// and LUD on integer datasets, and Table 5 reports 0.00 RMSE for
+// tpuGemm up to a maximum value of 64). All other data uses the
+// symmetric absolute-maximum rule.
+func ParamsFor(m *tensor.Matrix) Params {
+	exact := true
+	var absMax float32
+scan:
+	for r := 0; r < m.Rows; r++ {
+		for _, v := range m.Row(r) {
+			if v != float32(int32(v)) || v > QMax || v < -QMax-1 {
+				exact = false
+				break scan
+			}
+		}
+	}
+	if exact {
+		return Params{Scale: 1}
+	}
+	min, max := m.MinMax()
+	absMax = max
+	if -min > absMax {
+		absMax = -min
+	}
+	return Params{Scale: ScaleFor(absMax)}
+}
+
+// QuantizeWith maps m to int8 using the provided parameters.
+func QuantizeWith(m *tensor.Matrix, p Params) *tensor.MatrixI8 {
+	q := tensor.NewI8(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		src, dst := m.Row(r), q.Row(r)
+		for i, v := range src {
+			dst[i] = RoundToI8(v, p.Scale)
+		}
+	}
+	return q
+}
+
+// Dequantize reconstructs a float matrix from quantized data.
+func Dequantize(q *tensor.MatrixI8, p Params) *tensor.Matrix {
+	m := tensor.New(q.Rows, q.Cols)
+	inv := 1 / p.Scale
+	for r := 0; r < q.Rows; r++ {
+		src, dst := q.Row(r), m.Row(r)
+		for i, v := range src {
+			dst[i] = float32(v) * inv
+		}
+	}
+	return m
+}
+
+// DequantizeI32 reconstructs a float matrix from a 32-bit accumulator
+// matrix produced by a product of two quantized operands: the combined
+// scale is the product of the operand scales. CPU-side aggregation in
+// GPTPU works on these wide accumulators precisely so this conversion
+// happens once, after aggregation (paper section 6.2.1).
+func DequantizeI32(acc *tensor.MatrixI32, combined float32) *tensor.Matrix {
+	m := tensor.New(acc.Rows, acc.Cols)
+	inv := 1 / combined
+	for r := 0; r < acc.Rows; r++ {
+		src, dst := acc.Row(r), m.Row(r)
+		for i, v := range src {
+			dst[i] = float32(v) * inv
+		}
+	}
+	return m
+}
+
+// Calibrate returns the (min, max) range of m according to the chosen
+// method. MethodSampled inspects ~1/16 of the elements (at least 256)
+// using rng; MethodScale scans everything.
+func Calibrate(m *tensor.Matrix, method Method, rng *rand.Rand) (min, max float32) {
+	if method == MethodScale || m.Elems() <= 256 || rng == nil {
+		return m.MinMax()
+	}
+	n := m.Elems() / 16
+	if n < 256 {
+		n = 256
+	}
+	min = float32(math.Inf(1))
+	max = float32(math.Inf(-1))
+	for i := 0; i < n; i++ {
+		r := rng.Intn(m.Rows)
+		c := rng.Intn(m.Cols)
+		v := m.At(r, c)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// rangeSpan guards |max-min| against zero so the Eq. 5-8 denominators
+// stay finite for constant inputs.
+func rangeSpan(min, max float32) float64 {
+	s := math.Abs(float64(max) - float64(min))
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// OutputScaleGEMM implements Equation 5: the scaling factor for conv2D
+// and FullyConnected on a pair of NxN matrices, S = 1/(|max-min|^2 * N).
+// The estimate bounds the largest possible accumulated product so the
+// rescaled outputs cannot overflow.
+func OutputScaleGEMM(min, max float32, n int) float32 {
+	if n < 1 {
+		n = 1
+	}
+	span := rangeSpan(min, max)
+	return float32(1 / (span * span * float64(n)))
+}
+
+// OutputScaleAddSub implements Equation 6 for pairwise add and sub:
+// S = 1/(2 * |max-min|).
+func OutputScaleAddSub(min, max float32) float32 {
+	return float32(1 / (2 * rangeSpan(min, max)))
+}
+
+// OutputScaleMul implements Equation 7 for pairwise mul:
+// S = 1/|max-min|^2.
+func OutputScaleMul(min, max float32) float32 {
+	span := rangeSpan(min, max)
+	return float32(1 / (span * span))
+}
+
+// OutputScaleDefault implements Equation 8 for all other operators:
+// S = 1/|max-min|.
+func OutputScaleDefault(min, max float32) float32 {
+	return float32(1 / rangeSpan(min, max))
+}
+
+// Op identifies the operator class for scale estimation.
+type Op int
+
+const (
+	OpGEMM Op = iota // conv2D / FullyConnected chains
+	OpAddSub
+	OpMul
+	OpOther
+)
+
+// OutputScale dispatches to the Equation 5-8 rule for op. n is the
+// shared matrix dimension (used only by OpGEMM).
+func OutputScale(op Op, min, max float32, n int) float32 {
+	switch op {
+	case OpGEMM:
+		return OutputScaleGEMM(min, max, n)
+	case OpAddSub:
+		return OutputScaleAddSub(min, max)
+	case OpMul:
+		return OutputScaleMul(min, max)
+	default:
+		return OutputScaleDefault(min, max)
+	}
+}
+
+// EstimateChainedScale composes the output-range estimate for a
+// sequence of operators applied to data in [min, max], the "sequence
+// of operators" input to GPTPU's scale derivation (section 6.2.2).
+// For example GEMM followed by add on NxN data from 0..n-1 yields the
+// paper's worked example bound 2*N*(n-1)^2.
+func EstimateChainedScale(ops []Op, min, max float32, n int) float32 {
+	lo, hi := float64(min), float64(max)
+	for _, op := range ops {
+		a := math.Max(math.Abs(lo), math.Abs(hi))
+		switch op {
+		case OpGEMM:
+			hi = a * a * float64(n)
+			lo = -hi
+		case OpAddSub:
+			hi = math.Abs(hi)*2 + 0
+			lo = -hi
+		case OpMul:
+			hi = a * a
+			lo = -hi
+		default:
+			// range-preserving (tanh/relu/crop/ext/mean/max)
+		}
+	}
+	m := math.Max(math.Abs(lo), math.Abs(hi))
+	if m == 0 {
+		return 1
+	}
+	return float32(1 / m)
+}
+
+// SplitPortions decomposes m into a coarse portion whose values are
+// exactly representable in int8 (at the matrix's own symmetric scale)
+// and the fine residual, 2*QMax times smaller. Computing on both
+// portions and combining recovers ~16-bit effective precision — the
+// "iteratively computing on different portions of raw input numbers"
+// capability the paper attributes to GPTPU (section 10).
+func SplitPortions(m *tensor.Matrix) (hi, lo *tensor.Matrix, p Params) {
+	p = ParamsFor(m)
+	q := QuantizeWith(m, p)
+	hi = Dequantize(q, p)
+	lo = tensor.New(m.Rows, m.Cols)
+	for i := range lo.Data {
+		lo.Data[i] = m.Data[i] - hi.Data[i]
+	}
+	return hi, lo, p
+}
+
+// SplitVector is SplitPortions for a flat vector.
+func SplitVector(v []float32) (hi, lo []float32) {
+	m := tensor.FromSlice(1, len(v), v)
+	h, l, _ := SplitPortions(m)
+	return h.Data, l.Data
+}

@@ -1,0 +1,296 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestScaleFor(t *testing.T) {
+	if ScaleFor(127) != 1 {
+		t.Fatalf("ScaleFor(127)=%v", ScaleFor(127))
+	}
+	if ScaleFor(0) != 1 {
+		t.Fatal("zero absmax must fall back to scale 1")
+	}
+	if ScaleFor(float32(math.NaN())) != 1 {
+		t.Fatal("NaN absmax must fall back to scale 1")
+	}
+}
+
+func TestSaturateI8(t *testing.T) {
+	cases := []struct {
+		in   int32
+		want int8
+	}{{0, 0}, {127, 127}, {128, 127}, {1 << 20, 127}, {-128, -128}, {-129, -128}, {-(1 << 20), -128}, {-5, -5}}
+	for _, c := range cases {
+		if got := SaturateI8(c.in); got != c.want {
+			t.Fatalf("SaturateI8(%d)=%d want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := tensor.RandUniform(rng, 64, 64, -50, 50)
+	q, p := Quantize(m)
+	back := Dequantize(q, p)
+	// Max round-trip error of symmetric int8 quantization is half a
+	// quantization step.
+	step := 1 / p.Scale
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if d := math.Abs(float64(back.At(r, c) - m.At(r, c))); d > float64(step)/2+1e-6 {
+				t.Fatalf("round-trip error %v exceeds half step %v", d, step/2)
+			}
+		}
+	}
+}
+
+func TestQuantizeAllZeros(t *testing.T) {
+	m := tensor.New(4, 4)
+	q, p := Quantize(m)
+	if p.Scale != 1 {
+		t.Fatalf("scale=%v", p.Scale)
+	}
+	for _, v := range q.Data {
+		if v != 0 {
+			t.Fatal("zeros must quantize to zeros")
+		}
+	}
+}
+
+func TestQuantizeSymmetry(t *testing.T) {
+	m := tensor.FromSlice(1, 2, []float32{-10, 10})
+	q, _ := Quantize(m)
+	if q.At(0, 0) != -q.At(0, 1) {
+		t.Fatalf("symmetric values must quantize symmetrically: %d vs %d", q.At(0, 0), q.At(0, 1))
+	}
+	if q.At(0, 1) != QMax {
+		t.Fatalf("absmax must map to QMax, got %d", q.At(0, 1))
+	}
+}
+
+func TestDequantizeI32(t *testing.T) {
+	acc := tensor.NewI32(1, 1)
+	acc.Set(0, 0, 254)
+	// combined scale 2 means raw = 254/2 = 127.
+	m := DequantizeI32(acc, 2)
+	if m.At(0, 0) != 127 {
+		t.Fatalf("got %v", m.At(0, 0))
+	}
+}
+
+func TestCalibrateFullVsSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := tensor.RandUniform(rng, 128, 128, -7, 13)
+	min, max := Calibrate(m, MethodScale, nil)
+	emin, emax := m.MinMax()
+	if min != emin || max != emax {
+		t.Fatal("MethodScale must scan exactly")
+	}
+	smin, smax := Calibrate(m, MethodSampled, rng)
+	if smin < emin || smax > emax {
+		t.Fatal("sampled range cannot exceed true range")
+	}
+	// With ~1024 samples of a uniform distribution the sampled range
+	// should cover most of the true range.
+	if float64(smax-smin) < 0.9*float64(emax-emin) {
+		t.Fatalf("sampled range [%v,%v] too narrow vs [%v,%v]", smin, smax, emin, emax)
+	}
+}
+
+func TestCalibrateSmallFallsBackToScan(t *testing.T) {
+	m := tensor.FromSlice(2, 2, []float32{1, 2, 3, 4})
+	min, max := Calibrate(m, MethodSampled, rand.New(rand.NewSource(1)))
+	if min != 1 || max != 4 {
+		t.Fatalf("got [%v,%v]", min, max)
+	}
+}
+
+func TestOutputScaleEquations(t *testing.T) {
+	// Eq 5: S = 1/(span^2 * N)
+	if got, want := OutputScaleGEMM(0, 2, 10), float32(1.0/40.0); math.Abs(float64(got-want)) > 1e-9 {
+		t.Fatalf("Eq5: got %v want %v", got, want)
+	}
+	// Eq 6: S = 1/(2*span)
+	if got, want := OutputScaleAddSub(-1, 3), float32(1.0/8.0); got != want {
+		t.Fatalf("Eq6: got %v want %v", got, want)
+	}
+	// Eq 7: S = 1/span^2
+	if got, want := OutputScaleMul(0, 4), float32(1.0/16.0); got != want {
+		t.Fatalf("Eq7: got %v want %v", got, want)
+	}
+	// Eq 8: S = 1/span
+	if got, want := OutputScaleDefault(0, 5), float32(1.0/5.0); got != want {
+		t.Fatalf("Eq8: got %v want %v", got, want)
+	}
+}
+
+func TestOutputScaleConstantInput(t *testing.T) {
+	// Constant data (span 0) must not divide by zero.
+	for _, op := range []Op{OpGEMM, OpAddSub, OpMul, OpOther} {
+		s := OutputScale(op, 5, 5, 8)
+		if math.IsInf(float64(s), 0) || math.IsNaN(float64(s)) || s <= 0 {
+			t.Fatalf("op %d: bad scale %v", op, s)
+		}
+	}
+}
+
+func TestEstimateChainedScalePaperExample(t *testing.T) {
+	// Paper 6.2.2 worked example: matrix multiply then pairwise add on
+	// NxN matrices with data in 0..n-1 bounds the output by
+	// 2*N*(n-1)^2; the chosen scale is its reciprocal.
+	N, n := 16, 8
+	s := EstimateChainedScale([]Op{OpGEMM, OpAddSub}, 0, float32(n-1), N)
+	want := 1.0 / (2.0 * float64(N) * float64(n-1) * float64(n-1))
+	if math.Abs(float64(s)-want)/want > 1e-6 {
+		t.Fatalf("chained scale %v want %v", s, want)
+	}
+}
+
+func TestEstimateChainedScaleIdentityOps(t *testing.T) {
+	s := EstimateChainedScale([]Op{OpOther, OpOther}, -4, 4, 8)
+	if s != 0.25 {
+		t.Fatalf("got %v want 0.25", s)
+	}
+	if EstimateChainedScale(nil, 0, 0, 4) != 1 {
+		t.Fatal("zero-range chain must fall back to 1")
+	}
+}
+
+// Property: quantization never exceeds the int8 range and dequantized
+// values never exceed the original absolute maximum by more than half
+// a step.
+func TestQuickQuantizeBounds(t *testing.T) {
+	f := func(seed int64, lo, hi int16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l, h := float32(lo), float32(hi)
+		if l > h {
+			l, h = h, l
+		}
+		if l == h {
+			h = l + 1
+		}
+		m := tensor.RandUniform(rng, 8, 8, l, h)
+		q, p := Quantize(m)
+		for _, v := range q.Data {
+			if v > QMax || v < -QMax-1 {
+				return false
+			}
+		}
+		back := Dequantize(q, p)
+		absMax := m.AbsMax()
+		halfStep := 0.5 / p.Scale
+		for i, v := range back.Data {
+			_ = i
+			if math.Abs(float64(v)) > float64(absMax)+float64(halfStep)+1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the product of two quantized matrices dequantized through
+// the combined scale approximates the real product within the error
+// bound implied by input rounding.
+func TestQuickProductScaleComposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := tensor.RandUniform(rng, 4, 4, -3, 3)
+		b := tensor.RandUniform(rng, 4, 4, -3, 3)
+		qa, pa := Quantize(a)
+		qb, pb := Quantize(b)
+		acc := tensor.NewI32(4, 4)
+		ref := tensor.New(4, 4)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				var s int32
+				var fs float64
+				for k := 0; k < 4; k++ {
+					s += int32(qa.At(i, k)) * int32(qb.At(k, j))
+					fs += float64(a.At(i, k)) * float64(b.At(k, j))
+				}
+				acc.Set(i, j, s)
+				ref.Set(i, j, float32(fs))
+			}
+		}
+		got := DequantizeI32(acc, pa.Scale*pb.Scale)
+		return tensor.RMSE(ref, got) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsForIntegerExact(t *testing.T) {
+	m := tensor.FromSlice(2, 2, []float32{0, 5, 127, -128})
+	if p := ParamsFor(m); p.Scale != 1 {
+		t.Fatalf("integer data must get scale 1, got %v", p.Scale)
+	}
+	// Round-trip must be lossless.
+	q := QuantizeWith(m, Params{Scale: 1})
+	back := Dequantize(q, Params{Scale: 1})
+	if !back.Equal(m) {
+		t.Fatal("integer quantization must be exact")
+	}
+}
+
+func TestParamsForOutOfRangeIntegers(t *testing.T) {
+	m := tensor.FromSlice(1, 2, []float32{0, 128})
+	p := ParamsFor(m)
+	if p.Scale == 1 {
+		t.Fatal("128 exceeds int8 range; exactness must not apply")
+	}
+	if p.Scale != ScaleFor(128) {
+		t.Fatalf("scale %v want %v", p.Scale, ScaleFor(128))
+	}
+}
+
+func TestParamsForFloats(t *testing.T) {
+	m := tensor.FromSlice(1, 2, []float32{0.5, -3.25})
+	if p := ParamsFor(m); p.Scale != ScaleFor(3.25) {
+		t.Fatalf("scale %v", p.Scale)
+	}
+}
+
+func TestSplitPortionsReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := tensor.RandUniform(rng, 32, 32, -7, 7)
+	hi, lo, p := SplitPortions(m)
+	for i := range m.Data {
+		if hi.Data[i]+lo.Data[i] != m.Data[i] {
+			t.Fatal("hi + lo must reconstruct exactly (float identity)")
+		}
+	}
+	// hi must be int8-exact at the returned scale.
+	q := QuantizeWith(hi, p)
+	back := Dequantize(q, p)
+	if !back.Equal(hi) {
+		t.Fatal("coarse portion must round-trip int8 losslessly")
+	}
+	// Residual must be bounded by half a quantization step.
+	half := 0.5/p.Scale + 1e-6
+	for _, v := range lo.Data {
+		if v > half || v < -half {
+			t.Fatalf("residual %v exceeds half step %v", v, half)
+		}
+	}
+}
+
+func TestSplitVector(t *testing.T) {
+	v := []float32{0.5, -3.25, 100}
+	hi, lo := SplitVector(v)
+	for i := range v {
+		if hi[i]+lo[i] != v[i] {
+			t.Fatal("vector split must reconstruct")
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package timing
+
+import (
+	"repro/internal/isa"
+)
+
+// OpCost is the calibrated cost model for one Edge TPU instruction
+// type. The paper publishes only OPS (operations per second) and RPS
+// (result values per second) for a canonical workload per instruction
+// (Table 1); we decompose each instruction's latency into a fixed
+// issue/decode overhead plus compute proportional to the
+// multiply-accumulate count:
+//
+//	t(instr) = Overhead + MACs(instr) / MACRate
+//
+// Overhead is derived so that the canonical Table 1 workload
+// reproduces the published OPS exactly; MACRate is the sustained rate
+// for large instructions (where the 4 TOPS matrix unit amortizes the
+// per-instruction overhead).
+type OpCost struct {
+	// PaperOPS and PaperRPS are the published Table 1 rates.
+	PaperOPS float64
+	PaperRPS float64
+	// CanonicalResults is the per-instruction result count of the
+	// paper's measurement workload, recovered as round(RPS/OPS).
+	CanonicalResults int64
+	// CanonicalMACs is the matrix-unit work of the canonical
+	// instruction (results x kernel size for conv2D, results x vector
+	// length for FullyConnected, results otherwise).
+	CanonicalMACs int64
+	// MACRate is the sustained MAC/s (or element/s for data-movement
+	// and element-wise ops) for large instructions.
+	MACRate float64
+	// Overhead is the fixed per-instruction cost, derived in Derive.
+	Overhead Duration
+}
+
+// CPUParams models the baseline host: a single AMD Ryzen 3700X core
+// (Matisse, 4.4 GHz max boost, 32 MB LLC — paper section 3.1) running
+// the optimized baseline implementations, plus the shared memory
+// system that limits OpenMP scaling in Figure 8(a).
+type CPUParams struct {
+	// GemmFlops is the effective single-core float32 GEMM rate of the
+	// OpenBLAS baseline. Not published in the paper; estimated from
+	// public Ryzen 3700X OpenBLAS results (~45-55 GFLOP/s single
+	// core with AVX2) and then calibrated so Figure 6's 4Kx4K conv2D
+	// speedup lands near the paper's 2.06x.
+	GemmFlops float64
+	// ElemRate is the single-core rate for streaming element-wise
+	// work (stencil updates, pairwise row operations) in the
+	// Rodinia-style serial C baselines, elements/second. Rodinia's
+	// reference kernels are unvectorized scalar loops; public
+	// single-core runs of hotspot3D/gaussian land in the low hundreds
+	// of millions of points per second on this CPU class.
+	ElemRate float64
+	// ScalarRate is the single-core rate for transcendental-heavy
+	// scalar work (the AxBench BlackScholes baseline computes several
+	// double-precision log/exp/sqrt/division chains per option),
+	// operations/second.
+	ScalarRate float64
+	// GraphEdgeRate is the single-core rate for edge-centric graph
+	// processing (PageRank's baseline distribution traverses edges
+	// with cache-hostile access patterns rather than streaming a
+	// dense matrix), edges/second.
+	GraphEdgeRate float64
+	// StencilRate is the single-core rate of the Rodinia hotspot3D
+	// reference kernel: an unvectorized ~15-flop update with a divide
+	// per grid point, points/second.
+	StencilRate float64
+	// NaiveGemmFlops is the rate of the hand-written GEMM loops inside
+	// the Rodinia backprop and LUD baselines — auto-vectorized but far
+	// from OpenBLAS's register blocking (~45% of its throughput).
+	NaiveGemmFlops float64
+	// QuantRate is the host-side data-transformation rate of the
+	// Tensorizer (float32 -> int8 quantize + layout), elements/second.
+	QuantRate float64
+	// AggRate is the host-side rate for aggregating int32 partial
+	// results ("the CPU code only needs to add received values",
+	// section 6.2.1), elements/second.
+	AggRate float64
+	// MemBandwidth is the shared DRAM bandwidth in bytes/second that
+	// caps multicore streaming throughput (64 GB DDR4 dual channel).
+	MemBandwidth float64
+	// Cores is the number of physical cores (Ryzen 3700X: 8).
+	Cores int
+	// Int8GemmFlops is the effective single-core int8 GEMM rate of
+	// the FBGEMM baseline. The raw AVX2 8-bit kernels run 2-3x the
+	// float32 rate, but FBGEMM's end-to-end path (quantization,
+	// row-offset handling, requantization) lands near the float rate
+	// for one-shot products; Table 5's published 1.22-1.28x GPTPU
+	// advantage pins the effective value.
+	Int8GemmFlops float64
+	// OMPSerialFraction is the Amdahl serial share of the OpenMP
+	// baselines (setup, reductions, load imbalance): Rodinia's
+	// OpenMP ports average only 2.70x on the paper's 8 cores
+	// (Figure 8a), which a ~25% serial share reproduces together
+	// with the shared-bus bound.
+	OMPSerialFraction float64
+}
+
+// Params bundles every calibration constant of the simulation. All
+// values marked "paper" come directly from the text; the rest are
+// estimates documented inline and recorded in EXPERIMENTS.md.
+type Params struct {
+	Op [isa.NumOps]OpCost
+
+	// DataExchangeSecPerMB is the measured host<->TPU transfer cost:
+	// "transmitting 1 MB of data to an Edge TPU takes around 6 ms,
+	// while transmitting 8 MB ... takes 48 ms" (paper section 3.2).
+	DataExchangeSecPerMB float64
+
+	// TPUMemBytes is the Edge TPU on-chip data memory: 8 MB (paper
+	// section 2.2).
+	TPUMemBytes int64
+
+	// RefCompileSecPer2K is the Python TFLite compiler latency for a
+	// 2Kx2K matrix: 2.7 s (paper section 3.3).
+	RefCompileSecPer2K float64
+	// TensorizerSecPer2K is the C-based Tensorizer model-creation
+	// latency for a 2Kx2K matrix: 1.8 ms, "a 1500x speedup" (paper
+	// section 6.2.3).
+	TensorizerSecPer2K float64
+
+	CPU CPUParams
+}
+
+// Derive computes each op's fixed Overhead so that the canonical
+// Table 1 workload reproduces the published OPS:
+//
+//	1/OPS = Overhead + CanonicalMACs/MACRate
+func (p *Params) Derive() {
+	for i := range p.Op {
+		oc := &p.Op[i]
+		if oc.PaperOPS == 0 {
+			continue
+		}
+		total := 1 / oc.PaperOPS
+		compute := float64(oc.CanonicalMACs) / oc.MACRate
+		oh := total - compute
+		if oh < 0 {
+			oh = 0
+		}
+		oc.Overhead = FromSeconds(oh)
+	}
+}
+
+// Default returns the calibrated parameter set used by all
+// experiments.
+func Default() *Params {
+	p := &Params{
+		DataExchangeSecPerMB: 6e-3,
+		TPUMemBytes:          8 << 20,
+		RefCompileSecPer2K:   2.7,
+		TensorizerSecPer2K:   1.8e-3,
+		CPU: CPUParams{
+			GemmFlops:         5.0e10,
+			ElemRate:          3.0e8,
+			ScalarRate:        2.5e6,
+			GraphEdgeRate:     7.0e7,
+			StencilRate:       8.0e7,
+			NaiveGemmFlops:    2.2e10,
+			QuantRate:         2.0e9,
+			AggRate:           2.0e9,
+			MemBandwidth:      2.0e10,
+			Cores:             8,
+			Int8GemmFlops:     5.5e10,
+			OMPSerialFraction: 0.25,
+		},
+	}
+
+	// Table 1 rates (paper section 3.2). CanonicalResults is
+	// round(RPS/OPS); canonical MACs reflect the measurement shapes:
+	// conv2D used a small (3x3) kernel over a 128x128 tile,
+	// FullyConnected a 128-vector times 128x128 weights, and the
+	// remaining ops touch each element once.
+	set := func(op isa.OpCode, ops, rps, macRate float64, macsPerResult int64) {
+		results := int64(rps/ops + 0.5)
+		p.Op[op] = OpCost{
+			PaperOPS:         ops,
+			PaperRPS:         rps,
+			CanonicalResults: results,
+			CanonicalMACs:    results * macsPerResult,
+			MACRate:          macRate,
+		}
+	}
+	// MACRate choices: the matrix unit peaks at 4 TOPS = 2e12 MAC/s
+	// (paper section 1). conv2D is "the most optimized instruction"
+	// and sustains a calibrated 6% of peak in GEMM mode (calibrated
+	// against Figure 6's 2.06x at 4Kx4K); FullyConnected is issue-
+	// bound and sustains far less (calibrated against the paper's
+	// "conv2D ... outperforms the conventional vector-product-based
+	// algorithm by 43x", section 7.1.3). Element-wise and data-
+	// movement ops are bandwidth-bound near their Table 1 RPS.
+	set(isa.Conv2D, 10268.80, 168240326.89, 1.2e11, 9)
+	set(isa.FullyConnected, 51924.96, 6646394.57, 2.2e9, 128)
+	set(isa.Sub, 6273.28, 82871343.60, 2.0e9, 1)
+	set(isa.Add, 6203.52, 98293633.48, 2.0e9, 1)
+	set(isa.Mul, 14515.84, 216469999.54, 2.0e9, 1)
+	set(isa.Crop, 4867.96, 1562904391.76, 8.0e9, 1)
+	set(isa.Ext, 1604.78, 3637240203.38, 8.0e9, 1)
+	set(isa.Mean, 408.54, 408.54, 2.0e9, 1)
+	set(isa.Max, 477.08, 477.08, 2.0e9, 1)
+	set(isa.Tanh, 3232.31, 2148232470.28, 4.0e9, 1)
+	set(isa.ReLU, 11194.26, 4043196115.38, 4.0e9, 1)
+
+	p.Derive()
+	return p
+}
+
+// InstrTime returns the device-side latency of one instruction.
+func (p *Params) InstrTime(in *isa.Instruction) Duration {
+	oc := &p.Op[in.Op]
+	return oc.Overhead + FromSeconds(float64(in.MACs())/oc.MACRate)
+}
+
+// TransferTime returns the host<->TPU transfer latency for n bytes at
+// the measured data-exchange rate.
+func (p *Params) TransferTime(bytes int64) Duration {
+	return FromSeconds(float64(bytes) / (1 << 20) * p.DataExchangeSecPerMB)
+}
+
+// RefCompileTime returns the Python TFLite compile latency for a
+// matrix of elems elements, scaled linearly from the 2Kx2K
+// measurement.
+func (p *Params) RefCompileTime(elems int64) Duration {
+	return FromSeconds(p.RefCompileSecPer2K * float64(elems) / (2048 * 2048))
+}
+
+// TensorizerEncodeTime returns the fast model-encoding latency for a
+// matrix of elems elements, scaled from the 2Kx2K measurement.
+func (p *Params) TensorizerEncodeTime(elems int64) Duration {
+	return FromSeconds(p.TensorizerSecPer2K * float64(elems) / (2048 * 2048))
+}
+
+// CPUGemmTime returns the single-core float32 GEMM baseline latency
+// for an MxNxK product (2*M*N*K flops).
+func (p *Params) CPUGemmTime(m, n, k int64) Duration {
+	return FromSeconds(2 * float64(m) * float64(n) * float64(k) / p.CPU.GemmFlops)
+}
+
+// CPUInt8GemmTime returns the single-core FBGEMM-like int8 GEMM
+// latency for an MxNxK product.
+func (p *Params) CPUInt8GemmTime(m, n, k int64) Duration {
+	return FromSeconds(2 * float64(m) * float64(n) * float64(k) / p.CPU.Int8GemmFlops)
+}
+
+// CPUNaiveGemmTime returns the single-core latency for an MxNxK
+// product through the Rodinia-style hand-written GEMM loops.
+func (p *Params) CPUNaiveGemmTime(m, n, k int64) Duration {
+	return FromSeconds(2 * float64(m) * float64(n) * float64(k) / p.CPU.NaiveGemmFlops)
+}
+
+// CPUStreamTime returns the single-core latency for elems streaming
+// element operations with the given bytes touched; it is the max of
+// the compute-rate bound and the memory-bandwidth bound so multicore
+// runs saturate DRAM, reproducing the paper's modest OpenMP scaling.
+func (p *Params) CPUStreamTime(elems, bytes int64) Duration {
+	compute := float64(elems) / p.CPU.ElemRate
+	mem := float64(bytes) / p.CPU.MemBandwidth
+	if mem > compute {
+		compute = mem
+	}
+	return FromSeconds(compute)
+}
+
+// CPUScalarTime returns the single-core latency for n
+// transcendental-heavy scalar operations.
+func (p *Params) CPUScalarTime(n int64) Duration {
+	return FromSeconds(float64(n) / p.CPU.ScalarRate)
+}
+
+// QuantTime returns the host-side Tensorizer data-transformation cost
+// for elems elements.
+func (p *Params) QuantTime(elems int64) Duration {
+	return FromSeconds(float64(elems) / p.CPU.QuantRate)
+}
+
+// AggTime returns the host-side cost of aggregating elems int32
+// partial values.
+func (p *Params) AggTime(elems int64) Duration {
+	return FromSeconds(float64(elems) / p.CPU.AggRate)
+}

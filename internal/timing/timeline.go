@@ -1,0 +1,269 @@
+// Package timing is the virtual-time engine of the reproduction.
+//
+// Real Edge TPU hardware is unavailable (the paper's testbed is 8x M.2
+// devices behind PCIe switches), so every component of the simulated
+// platform — CPU cores, Edge TPUs, PCIe links, GPUs — is modelled as a
+// Resource with an availability timeline. Operations charge durations
+// computed from the calibrated cost model in params.go; the resulting
+// makespans reproduce the paper's relative performance results, while
+// functional correctness is computed separately with real arithmetic.
+package timing
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Duration is virtual time. It uses time.Duration's nanosecond
+// resolution.
+type Duration = time.Duration
+
+// Resource is a serially-occupied hardware unit (one CPU core, one
+// Edge TPU, one PCIe link, ...). Acquiring it models queueing: work
+// starts no earlier than its ready time and occupies the first idle
+// gap long enough to hold it, so late-ready work never falsely delays
+// earlier-ready work scheduled afterwards (tasks charge virtual time
+// out of order).
+type Resource struct {
+	Name string
+
+	mu        sync.Mutex
+	intervals []ival // busy intervals: sorted, disjoint, coalesced
+	busy      Duration
+	ops       int64
+	trace     *traceBuf // nil unless the timeline enabled tracing
+}
+
+type ival struct{ start, end Duration }
+
+// Acquire schedules d units of work that becomes ready at ready and
+// returns the interval [start, end) the work occupies.
+func (r *Resource) Acquire(ready, d Duration) (start, end Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("timing: negative duration %v on %s", d, r.Name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops++
+	r.busy += d
+	if d == 0 {
+		return ready, ready
+	}
+	// Find the first gap at or after ready that fits d.
+	i := sort.Search(len(r.intervals), func(i int) bool { return r.intervals[i].end > ready })
+	start = ready
+	for ; i < len(r.intervals); i++ {
+		iv := r.intervals[i]
+		if start+d <= iv.start {
+			break // fits in the gap before interval i
+		}
+		if iv.end > start {
+			start = iv.end
+		}
+	}
+	end = start + d
+	// Insert [start, end) at position i, coalescing with touching
+	// neighbours to keep the interval list short.
+	lo, hi := i, i
+	ns, ne := start, end
+	if lo > 0 && r.intervals[lo-1].end == ns {
+		lo--
+		ns = r.intervals[lo].start
+	}
+	if hi < len(r.intervals) && r.intervals[hi].start == ne {
+		ne = r.intervals[hi].end
+		hi++
+	}
+	merged := ival{ns, ne}
+	switch {
+	case lo == len(r.intervals):
+		r.intervals = append(r.intervals, merged)
+	case hi == lo:
+		r.intervals = append(r.intervals, ival{})
+		copy(r.intervals[lo+1:], r.intervals[lo:])
+		r.intervals[lo] = merged
+	default:
+		r.intervals[lo] = merged
+		r.intervals = append(r.intervals[:lo+1], r.intervals[hi:]...)
+	}
+	// Bound the schedule history: heavily fragmented resources (e.g. a
+	// PCIe link interleaving millions of uploads and downloads) would
+	// otherwise make every gap search linear in the total operation
+	// count. Old gaps are frozen into one solid busy prefix — slightly
+	// pessimistic for stragglers that could have squeezed into ancient
+	// idle slivers, irrelevant for the makespan.
+	if len(r.intervals) > maxIntervals {
+		cut := len(r.intervals) - keepIntervals
+		r.intervals[cut-1] = ival{r.intervals[0].start, r.intervals[cut-1].end}
+		n := copy(r.intervals[0:], r.intervals[cut-1:])
+		r.intervals = r.intervals[:n]
+	}
+	if r.trace != nil {
+		r.trace.add(Event{Resource: r.Name, Start: start, End: end})
+	}
+	return start, end
+}
+
+const (
+	// maxIntervals triggers history freezing; keepIntervals is how
+	// much recent schedule detail survives it.
+	maxIntervals  = 256
+	keepIntervals = 128
+)
+
+// AvailableAt returns the time after which the resource is guaranteed
+// idle (earlier gaps may also exist).
+func (r *Resource) AvailableAt() Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.intervals) == 0 {
+		return 0
+	}
+	return r.intervals[len(r.intervals)-1].end
+}
+
+// BusyTime returns the total time the resource has been occupied.
+func (r *Resource) BusyTime() Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busy
+}
+
+// Ops returns the number of acquisitions.
+func (r *Resource) Ops() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ops
+}
+
+// reset clears the resource's schedule.
+func (r *Resource) reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.intervals, r.busy, r.ops = nil, 0, 0
+}
+
+// Timeline owns a set of resources and tracks the overall makespan of
+// the work scheduled onto them.
+type Timeline struct {
+	mu        sync.Mutex
+	resources []*Resource
+	end       Duration
+	trace     *traceBuf
+}
+
+// NewTimeline returns an empty timeline at virtual time zero.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// NewResource registers and returns a named resource.
+func (t *Timeline) NewResource(name string) *Resource {
+	r := &Resource{Name: name}
+	t.mu.Lock()
+	r.trace = t.trace
+	t.resources = append(t.resources, r)
+	t.mu.Unlock()
+	return r
+}
+
+// Observe records the completion time of a scheduled piece of work so
+// that the makespan covers it even if later resources idle.
+func (t *Timeline) Observe(end Duration) {
+	t.mu.Lock()
+	if end > t.end {
+		t.end = end
+	}
+	t.mu.Unlock()
+}
+
+// Makespan returns the virtual completion time of all observed work.
+func (t *Timeline) Makespan() Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	for _, r := range t.resources {
+		if b := r.AvailableAt(); b > end {
+			end = b
+		}
+	}
+	return end
+}
+
+// Resources returns the registered resources.
+func (t *Timeline) Resources() []*Resource {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Resource, len(t.resources))
+	copy(out, t.resources)
+	return out
+}
+
+// Reset rewinds the timeline and every resource to time zero. Each
+// benchmark run starts from a fresh timeline.
+func (t *Timeline) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.end = 0
+	for _, r := range t.resources {
+		r.reset()
+	}
+}
+
+// Seconds converts a virtual duration to float seconds.
+func Seconds(d Duration) float64 { return d.Seconds() }
+
+// FromSeconds converts float seconds to a virtual duration.
+func FromSeconds(s float64) Duration { return Duration(s * float64(time.Second)) }
+
+// Event is one recorded resource acquisition, for trace export.
+type Event struct {
+	Resource string
+	Start    Duration
+	End      Duration
+}
+
+// traceBuf collects events when tracing is enabled.
+type traceBuf struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (tb *traceBuf) add(e Event) {
+	tb.mu.Lock()
+	tb.events = append(tb.events, e)
+	tb.mu.Unlock()
+}
+
+// EnableTrace starts recording every subsequent acquisition on every
+// resource of this timeline (including resources created later).
+// Tracing costs memory proportional to the operation count; it is off
+// by default.
+func (t *Timeline) EnableTrace() {
+	t.mu.Lock()
+	if t.trace == nil {
+		t.trace = &traceBuf{}
+		for _, r := range t.resources {
+			r.mu.Lock()
+			r.trace = t.trace
+			r.mu.Unlock()
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Trace returns a copy of the recorded events (nil when tracing was
+// never enabled).
+func (t *Timeline) Trace() []Event {
+	t.mu.Lock()
+	tb := t.trace
+	t.mu.Unlock()
+	if tb == nil {
+		return nil
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	out := make([]Event, len(tb.events))
+	copy(out, tb.events)
+	return out
+}

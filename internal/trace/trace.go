@@ -1,0 +1,121 @@
+// Package trace exports a recorded virtual-time schedule in the
+// Chrome trace-event (catapult) JSON format so that a GPTPU run's
+// resource occupancy — host cores, Edge TPU matrix units, PCIe links,
+// switch uplinks — can be inspected in chrome://tracing or Perfetto.
+// The GPTPU paper diagnoses applications precisely this way (e.g.
+// HotSpot3D's transfer-bound profile, section 9.1); this is the
+// tooling a user of the framework needs for the same analysis.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/timing"
+)
+
+// chromeEvent is one complete ("ph":"X") event of the trace format.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// metaEvent names a thread lane.
+type metaEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// Export writes the recorded events of tl as a Chrome trace JSON
+// array. Each resource becomes one lane (thread), ordered by name;
+// every acquisition becomes a complete event. Returns the number of
+// events written.
+func Export(tl *timing.Timeline, w io.Writer) (int, error) {
+	events := tl.Trace()
+	if events == nil {
+		return 0, fmt.Errorf("trace: tracing was not enabled on this timeline (call EnableTrace before running)")
+	}
+	lanes := map[string]int{}
+	var names []string
+	for _, e := range events {
+		if _, ok := lanes[e.Resource]; !ok {
+			lanes[e.Resource] = 0
+			names = append(names, e.Resource)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		lanes[n] = i
+	}
+
+	var out []any
+	for _, n := range names {
+		out = append(out, metaEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: lanes[n],
+			Args: map[string]string{"name": n},
+		})
+	}
+	for _, e := range events {
+		out = append(out, chromeEvent{
+			Name: e.Resource,
+			Ph:   "X",
+			Ts:   float64(e.Start.Nanoseconds()) / 1e3,
+			Dur:  float64((e.End - e.Start).Nanoseconds()) / 1e3,
+			Pid:  0,
+			Tid:  lanes[e.Resource],
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return 0, err
+	}
+	return len(events), nil
+}
+
+// Summary aggregates the trace into per-resource busy time and
+// utilization relative to the makespan, the textual counterpart of
+// the visual trace.
+type Summary struct {
+	Resource    string
+	Busy        timing.Duration
+	Ops         int
+	Utilization float64
+}
+
+// Summarize computes per-resource occupancy statistics from the
+// recorded events.
+func Summarize(tl *timing.Timeline) []Summary {
+	events := tl.Trace()
+	mk := tl.Makespan().Seconds()
+	agg := map[string]*Summary{}
+	var names []string
+	for _, e := range events {
+		s, ok := agg[e.Resource]
+		if !ok {
+			s = &Summary{Resource: e.Resource}
+			agg[e.Resource] = s
+			names = append(names, e.Resource)
+		}
+		s.Busy += e.End - e.Start
+		s.Ops++
+	}
+	sort.Strings(names)
+	out := make([]Summary, 0, len(names))
+	for _, n := range names {
+		s := agg[n]
+		if mk > 0 {
+			s.Utilization = s.Busy.Seconds() / mk
+		}
+		out = append(out, *s)
+	}
+	return out
+}

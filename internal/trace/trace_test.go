@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/timing"
+)
+
+func tracedTimeline(t *testing.T) *timing.Timeline {
+	t.Helper()
+	tl := timing.NewTimeline()
+	tl.EnableTrace()
+	a := tl.NewResource("edgetpu0")
+	b := tl.NewResource("pcie-dev0-link")
+	b.Acquire(0, 4*time.Millisecond)
+	a.Acquire(4*time.Millisecond, 2*time.Millisecond)
+	b.Acquire(6*time.Millisecond, 1*time.Millisecond)
+	tl.Observe(7 * time.Millisecond)
+	return tl
+}
+
+func TestExportChromeFormat(t *testing.T) {
+	tl := tracedTimeline(t)
+	var buf bytes.Buffer
+	n, err := Export(tl, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("exported %d events, want 3", n)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatal(err)
+	}
+	// 2 thread-name metadata + 3 complete events.
+	if len(arr) != 5 {
+		t.Fatalf("got %d records, want 5", len(arr))
+	}
+	var metas, completes int
+	for _, rec := range arr {
+		switch rec["ph"] {
+		case "M":
+			metas++
+		case "X":
+			completes++
+			if rec["dur"].(float64) <= 0 {
+				t.Fatal("complete event without duration")
+			}
+		}
+	}
+	if metas != 2 || completes != 3 {
+		t.Fatalf("metas=%d completes=%d", metas, completes)
+	}
+}
+
+func TestExportWithoutTracing(t *testing.T) {
+	tl := timing.NewTimeline()
+	tl.NewResource("x").Acquire(0, 1)
+	var buf bytes.Buffer
+	if _, err := Export(tl, &buf); err == nil {
+		t.Fatal("expected error when tracing disabled")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tl := tracedTimeline(t)
+	sums := Summarize(tl)
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	// Sorted by name: edgetpu0 first.
+	if !strings.HasPrefix(sums[0].Resource, "edgetpu") {
+		t.Fatalf("order: %v", sums[0].Resource)
+	}
+	if sums[0].Busy != 2*time.Millisecond || sums[0].Ops != 1 {
+		t.Fatalf("edgetpu summary %+v", sums[0])
+	}
+	if sums[1].Busy != 5*time.Millisecond || sums[1].Ops != 2 {
+		t.Fatalf("link summary %+v", sums[1])
+	}
+	if sums[1].Utilization < 0.7 || sums[1].Utilization > 0.72 {
+		t.Fatalf("link utilization %v, want ~5/7", sums[1].Utilization)
+	}
+}
