@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet race ci bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector; the concurrent
+# telemetry registry and scheduler paths are the interesting targets.
+race:
+	$(GO) test -race ./...
+
+ci: vet race
+
+bench:
+	$(GO) run ./cmd/gptpu-bench
+
+clean:
+	$(GO) clean ./...

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/quant"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/timing"
 )
@@ -34,6 +35,14 @@ type Config struct {
 	Sampled bool
 	// Params overrides the calibrated cost model (nil = default).
 	Params *timing.Params
+	// Metrics is the telemetry registry the runtime records into.
+	// Nil means a fresh private registry (unless SetDefaultMetrics
+	// installed a process-wide one). Sharing one registry across
+	// contexts accumulates their counters together.
+	Metrics *telemetry.Registry
+	// Trace enables event recording on the context's timeline so the
+	// run can be exported as a Chrome trace (see internal/trace).
+	Trace bool
 }
 
 // Context is an open GPTPU machine: the programming-interface entry
@@ -57,8 +66,28 @@ func Open(cfg Config) *Context {
 		o.QuantMethod = quant.MethodSampled
 	}
 	o.Params = cfg.Params
-	return &Context{c: core.NewContext(o)}
+	o.Metrics = cfg.Metrics
+	c := core.NewContext(o)
+	if cfg.Trace {
+		c.TL.EnableTrace()
+	}
+	return &Context{c: c}
 }
+
+// SetDefaultMetrics installs a process-wide registry that contexts
+// opened with a nil Config.Metrics record into, so tools can collect
+// fleet-wide totals across contexts they do not construct themselves
+// (cmd/gptpu-bench does this for its -metrics flag). Pass nil to
+// restore private per-context registries.
+func SetDefaultMetrics(reg *telemetry.Registry) { core.SetDefaultMetrics(reg) }
+
+// SetDefaultTrace makes every subsequently-opened context record
+// trace events; TracedTimelines retrieves their timelines for export.
+func SetDefaultTrace(on bool) { core.SetDefaultTrace(on) }
+
+// TracedTimelines returns the timelines of every context opened since
+// SetDefaultTrace(true).
+func TracedTimelines() []*timing.Timeline { return core.TracedTimelines() }
 
 // Core exposes the underlying runtime for benchmarks and tests that
 // need device-pool or timeline access.
@@ -189,6 +218,26 @@ func (x *Context) Sync() error { return x.c.Sync() }
 // NewOp opens a serial operator chain outside any task, for
 // straight-line host code.
 func (x *Context) NewOp() *Op { return &Op{s: x.c.NewStream()} }
+
+// Metrics returns the runtime telemetry registry: scheduler counters
+// (affinity hits, FCFS fallbacks, device-lost retries), Tensorizer
+// cache and encode statistics, per-instruction and per-operator
+// virtual-latency histograms, and per-device transfer/residency
+// counters. Snapshot it with WritePrometheus or WriteJSON, or expose
+// it over HTTP with ServeMetrics.
+func (x *Context) Metrics() *telemetry.Registry { return x.c.Metrics() }
+
+// Stats returns the scheduler statistics summary, a thin view over
+// Metrics kept for convenience and backward compatibility.
+func (x *Context) Stats() core.Stats { return x.c.Stats() }
+
+// ServeMetrics starts an HTTP endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") exposing this context's metrics: Prometheus text
+// format at /metrics, expvar-style JSON at /metrics.json. Close the
+// returned server when done.
+func (x *Context) ServeMetrics(addr string) (*telemetry.Server, error) {
+	return telemetry.Serve(addr, x.c.Metrics())
+}
 
 // Elapsed returns the virtual time consumed so far.
 func (x *Context) Elapsed() timing.Duration { return x.c.Elapsed() }

@@ -7,6 +7,13 @@
 //	gptpu-bench -full            # paper-scale configurations
 //	gptpu-bench -exp fig7,table5 # selected experiments
 //	gptpu-bench -list            # list experiment ids
+//
+// With -metrics the sweep's telemetry accumulates into one shared
+// registry (every context the experiments open records into it) and a
+// snapshot is written after the last experiment: Prometheus text, or
+// expvar JSON for .json paths. With -trace every context records its
+// schedule and the merged Chrome trace is written at the end, one
+// process group per context.
 package main
 
 import (
@@ -16,7 +23,10 @@ import (
 	"strings"
 	"time"
 
+	gptpu "repro"
 	"repro/internal/bench"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -24,6 +34,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	format := flag.String("format", "text", "output format: text|csv|json")
+	metricsOut := flag.String("metrics", "", "write the sweep-wide telemetry snapshot to this file (Prometheus text; expvar JSON if the name ends in .json)")
+	traceOut := flag.String("trace", "", "write the merged Chrome trace of every context to this file")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +58,15 @@ func main() {
 			}
 			selected = append(selected, e)
 		}
+	}
+
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		gptpu.SetDefaultMetrics(reg)
+	}
+	if *traceOut != "" {
+		gptpu.SetDefaultTrace(true)
 	}
 
 	opts := bench.Opts{Full: *full}
@@ -72,5 +93,42 @@ func main() {
 			rep.Fprint(os.Stdout)
 			fmt.Printf("  [%s regenerated in %v wall time]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
+	}
+
+	if reg != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-bench:", err)
+			os.Exit(1)
+		}
+		if strings.HasSuffix(*metricsOut, ".json") {
+			err = reg.WriteJSON(f)
+		} else {
+			err = reg.WritePrometheus(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: %d families -> %s\n", len(reg.Catalog()), *metricsOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-bench:", err)
+			os.Exit(1)
+		}
+		n, err := trace.ExportAll(gptpu.TracedTimelines(), f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events -> %s\n", n, *traceOut)
 	}
 }

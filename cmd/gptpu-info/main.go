@@ -1,7 +1,8 @@
 // Command gptpu-info prints the simulated platform inventory: the
 // machine topology of paper section 3.1 (up to 8 M.2 Edge TPUs behind
-// quad-device PCIe switch cards), the power model, and the calibrated
-// cost-model constants with their provenance.
+// quad-device PCIe switch cards), the power model, the calibrated
+// cost-model constants with their provenance, and the catalog of
+// telemetry metrics the runtime exports (-catalog for just that).
 package main
 
 import (
@@ -9,6 +10,7 @@ import (
 	"fmt"
 
 	"os"
+	gptpu "repro"
 	"repro/internal/bench"
 	"repro/internal/energy"
 	"repro/internal/isa"
@@ -18,7 +20,13 @@ import (
 
 func main() {
 	devices := flag.Int("devices", 8, "number of attached Edge TPUs (1-8)")
+	catalogOnly := flag.Bool("catalog", false, "print only the telemetry metric catalog")
 	flag.Parse()
+
+	if *catalogOnly {
+		printCatalog(*devices)
+		return
+	}
 
 	p := timing.Default()
 	fmt.Println("GPTPU simulated platform")
@@ -47,4 +55,25 @@ func main() {
 	}
 	fmt.Println()
 	bench.Table6(bench.Opts{}).Fprint(os.Stdout)
+	fmt.Println()
+	printCatalog(*devices)
+}
+
+// printCatalog opens a context over the requested device count and
+// lists every metric family its telemetry registry exports: name,
+// type, label dimensions, and help string.
+func printCatalog(devices int) {
+	ctx := gptpu.Open(gptpu.Config{Devices: devices, TimingOnly: true})
+	fmt.Println("Telemetry metric catalog (Prometheus names)")
+	for _, d := range ctx.Metrics().Catalog() {
+		name := d.Name
+		if len(d.Labels) > 0 {
+			name += "{" + d.Labels[0]
+			for _, l := range d.Labels[1:] {
+				name += "," + l
+			}
+			name += "}"
+		}
+		fmt.Printf("  %-44s %-9s %s\n", name, d.Type, d.Help)
+	}
 }

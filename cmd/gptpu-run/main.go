@@ -3,12 +3,16 @@
 // per-resource occupancy. With -trace it additionally exports the full
 // resource schedule as Chrome trace-event JSON (load it in
 // chrome://tracing or Perfetto) — the profile view behind the paper's
-// bottleneck analyses.
+// bottleneck analyses. With -metrics it dumps the runtime telemetry
+// snapshot (Prometheus text exposition, or expvar JSON for .json
+// paths): scheduler counters, per-operator latency histograms, and
+// per-device transfer/residency counters.
 //
 // Usage:
 //
 //	gptpu-run -app gemm -n 2048 -devices 4
 //	gptpu-run -app pagerank -n 4096 -iters 20 -trace pr.json
+//	gptpu-run -app gemm -n 1024 -metrics out.prom -trace out.json
 //	gptpu-run -app hotspot3d -n 1024 -functional=false
 package main
 
@@ -16,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	gptpu "repro"
 	"repro/internal/apps"
@@ -27,6 +32,7 @@ import (
 	"repro/internal/apps/lud"
 	"repro/internal/apps/pagerank"
 	"repro/internal/blas"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -39,12 +45,14 @@ func main() {
 	functional := flag.Bool("functional", true, "compute real results (disable for paper-scale timing sweeps)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	traceOut := flag.String("trace", "", "write Chrome trace JSON to this file")
+	metricsOut := flag.String("metrics", "", "write a telemetry snapshot to this file (Prometheus text; expvar JSON if the name ends in .json)")
 	flag.Parse()
 
-	ctx := gptpu.Open(gptpu.Config{Devices: *devices, TimingOnly: !*functional})
-	if *traceOut != "" {
-		ctx.Core().TL.EnableTrace()
-	}
+	ctx := gptpu.Open(gptpu.Config{
+		Devices:    *devices,
+		TimingOnly: !*functional,
+		Trace:      *traceOut != "",
+	})
 
 	tpuM, cpuM, err := run(*app, ctx, *n, *iters, *seed, *functional)
 	if err != nil {
@@ -58,9 +66,13 @@ func main() {
 	fmt.Printf("  speedup %.2fx   energy %.1f%%   EDP %.1f%%\n",
 		tpuM.Speedup(cpuM), 100*tpuM.EnergyRatio(cpuM), 100*tpuM.EDPRatio(cpuM))
 
-	st := ctx.Core().Stats()
+	st := ctx.Stats()
 	fmt.Printf("  residency: %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
 		st.ResidencyHits, st.ResidencyMisses, 100*st.HitRate, st.Evictions)
+	fmt.Printf("  scheduler: %d affinity hits / %d FCFS fallbacks, %d device-lost retries\n",
+		st.AffinityHits, st.FCFSFallbacks, st.DeviceLostRetries)
+	fmt.Printf("  tensorizer: %d quant-cache hits / %d misses\n",
+		st.QuantCacheHits, st.QuantCacheMisses)
 	fmt.Println("  resource occupancy:")
 	if *traceOut != "" {
 		for _, s := range trace.Summarize(ctx.Core().TL) {
@@ -90,6 +102,31 @@ func main() {
 				r.Name, r.BusyTime(), 100*util, r.Ops())
 		}
 	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(ctx.Metrics(), *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-run:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  metrics: %d families -> %s\n", len(ctx.Metrics().Catalog()), *metricsOut)
+	}
+}
+
+// writeMetrics dumps a registry snapshot to path: Prometheus text
+// exposition by default, expvar-style JSON when the name ends in
+// ".json".
+func writeMetrics(reg *telemetry.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = reg.WriteJSON(f)
+	} else {
+		err = reg.WritePrometheus(f)
+	}
+	return err
 }
 
 // run executes the selected workload on both the GPTPU context and a

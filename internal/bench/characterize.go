@@ -47,7 +47,7 @@ func Table1(_ Opts) *Report {
 	}
 	for _, op := range isa.AllOps() {
 		tl := timing.NewTimeline()
-		pool := edgetpu.NewPool(tl, params, 1)
+		pool := edgetpu.NewPool(tl, params, 1, nil)
 		d := pool.Devices[0]
 		in := canonicalInstr(op, params)
 
@@ -82,7 +82,7 @@ func Table1(_ Opts) *Report {
 func DataExchange(_ Opts) *Report {
 	params := timing.Default()
 	tl := timing.NewTimeline()
-	pool := edgetpu.NewPool(tl, params, 1)
+	pool := edgetpu.NewPool(tl, params, 1, nil)
 	rep := &Report{
 		ID:     "exchange",
 		Title:  "host to Edge TPU data-exchange latency",

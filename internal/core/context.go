@@ -23,6 +23,7 @@ import (
 	"repro/internal/edgetpu"
 	"repro/internal/energy"
 	"repro/internal/quant"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/timing"
 )
@@ -55,6 +56,9 @@ type Options struct {
 	QuantMethod quant.Method
 	// Params overrides the calibrated cost model (nil = Default).
 	Params *timing.Params
+	// Metrics is the telemetry registry the runtime records into
+	// (nil = a fresh private registry, exposed via Context.Metrics).
+	Metrics *telemetry.Registry
 }
 
 // DefaultOptions returns the configuration of the paper's prototype:
@@ -75,6 +79,7 @@ func DefaultOptions() Options {
 type Context struct {
 	opts   Options
 	params *timing.Params
+	met    *runtimeMetrics
 
 	TL   *timing.Timeline
 	Pool *edgetpu.Pool
@@ -98,6 +103,47 @@ type affinityKey struct {
 	task  int
 }
 
+// defaults holds process-wide observability hooks for tools (like
+// cmd/gptpu-bench) that cannot reach every context they transitively
+// create: a fallback registry for contexts whose Options.Metrics is
+// nil, and a switch that enables tracing on every new context and
+// remembers its timeline for a merged export.
+var defaults struct {
+	mu        sync.Mutex
+	metrics   *telemetry.Registry
+	trace     bool
+	timelines []*timing.Timeline
+}
+
+// SetDefaultMetrics installs reg as the registry contexts record into
+// when their Options.Metrics is nil (nil restores private per-context
+// registries). Contexts sharing a registry accumulate into the same
+// counters, giving process-wide totals.
+func SetDefaultMetrics(reg *telemetry.Registry) {
+	defaults.mu.Lock()
+	defaults.metrics = reg
+	defaults.mu.Unlock()
+}
+
+// SetDefaultTrace makes every subsequently-created context enable
+// tracing on its timeline and remember it for TracedTimelines.
+func SetDefaultTrace(on bool) {
+	defaults.mu.Lock()
+	defaults.trace = on
+	if !on {
+		defaults.timelines = nil
+	}
+	defaults.mu.Unlock()
+}
+
+// TracedTimelines returns the timelines of every context created
+// since SetDefaultTrace(true).
+func TracedTimelines() []*timing.Timeline {
+	defaults.mu.Lock()
+	defer defaults.mu.Unlock()
+	return append([]*timing.Timeline(nil), defaults.timelines...)
+}
+
 // NewContext builds a GPTPU machine.
 func NewContext(opts Options) *Context {
 	if opts.Devices <= 0 {
@@ -108,16 +154,35 @@ func NewContext(opts Options) *Context {
 		params = timing.Default()
 	}
 	tl := timing.NewTimeline()
+	reg := opts.Metrics
+	defaults.mu.Lock()
+	if reg == nil {
+		reg = defaults.metrics
+	}
+	if defaults.trace {
+		tl.EnableTrace()
+		defaults.timelines = append(defaults.timelines, tl)
+	}
+	defaults.mu.Unlock()
+	met := newRuntimeMetrics(reg)
 	c := &Context{
 		opts:     opts,
 		params:   params,
+		met:      met,
 		TL:       tl,
-		Pool:     edgetpu.NewPool(tl, params, opts.Devices),
+		Pool:     edgetpu.NewPool(tl, params, opts.Devices, met.reg),
 		Host:     tl.NewResource("cpu-core0"),
 		affinity: make(map[affinityKey]int),
 	}
 	return c
 }
+
+// Metrics returns the telemetry registry every layer of this context
+// records into: scheduler counters, Tensorizer cache statistics,
+// per-instruction latency histograms, and the per-device transfer and
+// residency counters. Export it with the registry's WritePrometheus /
+// WriteJSON, or serve it over HTTP with telemetry.Serve.
+func (c *Context) Metrics() *telemetry.Registry { return c.met.reg }
 
 // Options returns the context configuration.
 func (c *Context) Options() Options { return c.opts }
@@ -155,23 +220,53 @@ func (c *Context) ChargeHostWork(d timing.Duration) timing.Duration {
 	return c.chargeHost(c.TL.Makespan(), d)
 }
 
-// Stats summarizes the runtime's scheduling behaviour so far.
+// DeviceStats is one device's view of the telemetry counters:
+// instruction, residency and interconnect-traffic totals.
+type DeviceStats struct {
+	ID    int
+	Execs int64
+	// Residency of the 8 MB on-chip memory (section 6.1's rule
+	// maximizes Hits).
+	Hits, Misses, Evictions int64
+	// Interconnect traffic in each direction.
+	UploadBytes, DownloadBytes int64
+}
+
+// Stats summarizes the runtime's scheduling behaviour so far. It is a
+// thin view over the telemetry registry (Context.Metrics): every field
+// is read back from the same counters the Prometheus export renders.
 type Stats struct {
 	// Instructions executed per device.
 	Execs []int64
+	// PerDevice breaks residency and traffic down by device.
+	PerDevice []DeviceStats
 	// ResidencyHits/Misses/Evictions aggregate the devices' on-chip
 	// memory behaviour (section 6.1's rule maximizes hits).
 	ResidencyHits, ResidencyMisses, Evictions int64
 	// HitRate is hits / (hits + misses); 0 when no uploads happened.
 	HitRate float64
+	// AffinityHits/FCFSFallbacks count scheduler placements by the
+	// section 6.1 locality rule vs first-come-first-serve.
+	AffinityHits, FCFSFallbacks int64
+	// QuantCacheHits/Misses count Tensorizer quantization-cache reuse.
+	QuantCacheHits, QuantCacheMisses int64
+	// DeviceLostRetries counts instructions re-dispatched after a
+	// device failure.
+	DeviceLostRetries int64
 }
 
 // Stats returns the current scheduler statistics.
 func (c *Context) Stats() Stats {
 	var st Stats
 	for _, d := range c.Pool.Devices {
-		st.Execs = append(st.Execs, d.Execs())
 		h, m, e := d.ResidencyStats()
+		_, ub, _, db := d.IOStats()
+		st.Execs = append(st.Execs, d.Execs())
+		st.PerDevice = append(st.PerDevice, DeviceStats{
+			ID: d.ID, Execs: d.Execs(),
+			Hits: h, Misses: m, Evictions: e,
+			UploadBytes: ub, DownloadBytes: db,
+		})
 		st.ResidencyHits += h
 		st.ResidencyMisses += m
 		st.Evictions += e
@@ -179,6 +274,11 @@ func (c *Context) Stats() Stats {
 	if tot := st.ResidencyHits + st.ResidencyMisses; tot > 0 {
 		st.HitRate = float64(st.ResidencyHits) / float64(tot)
 	}
+	st.AffinityHits = int64(c.met.affinityHits.Value())
+	st.FCFSFallbacks = int64(c.met.fcfsFallbacks.Value())
+	st.QuantCacheHits = int64(c.met.quantCacheHits.Value())
+	st.QuantCacheMisses = int64(c.met.quantCacheMisses.Value())
+	st.DeviceLostRetries = int64(c.met.lostRetries.Value())
 	return st
 }
 
@@ -235,17 +335,20 @@ func (c *Context) Invalidate(b *Buffer) {
 // data transformation for b once: range calibration, int8 quantization
 // and model encoding. It returns the quantization parameters, the
 // quantized data (nil in timing-only mode) and the virtual time at
-// which the encoded model is available.
-func (c *Context) ensureQuantized(b *Buffer, ready timing.Duration) (quant.Params, *tensor.MatrixI8, timing.Duration) {
+// which the encoded model is available. task tags the trace span with
+// the OPQ task that triggered the encode.
+func (c *Context) ensureQuantized(b *Buffer, ready timing.Duration, task int) (quant.Params, *tensor.MatrixI8, timing.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.quantized {
+		c.met.quantCacheHits.Inc()
 		at := b.readyAt
 		if ready > at {
 			at = ready
 		}
 		return b.qp, b.q, at
 	}
+	c.met.quantCacheMisses.Inc()
 	elems := int64(b.M.Elems())
 	// Host-side transformation cost: quantize + encode into the model
 	// format (the fast path) or invoke the reference TFLite compiler
@@ -256,7 +359,9 @@ func (c *Context) ensureQuantized(b *Buffer, ready timing.Duration) (quant.Param
 	} else {
 		cost += c.params.RefCompileTime(elems)
 	}
-	_, end := c.Host.Acquire(ready, cost)
+	c.met.tensorizeVSec.Add(cost.Seconds())
+	_, end := c.Host.AcquireSpan(ready, cost,
+		timing.Span{Phase: "tensorize", Task: task, Bytes: elems})
 	c.TL.Observe(end)
 
 	b.qp = quant.Params{Scale: 1}

@@ -20,12 +20,13 @@ func (s *Stream) Conv2D(a *Buffer, kernel *Buffer) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	defer s.opTimer("conv2D")()
 	checkShapes("conv2D", kernel.Rows() > 0 && kernel.Cols() > 0 &&
 		kernel.Rows() <= a.Rows() && kernel.Cols() <= a.Cols(),
 		"kernel %dx%d incompatible with input %dx%d", kernel.Rows(), kernel.Cols(), a.Rows(), a.Cols())
 	c := s.c
-	pa, qa, readyA := c.ensureQuantized(a, s.now)
-	pk, qk, readyK := c.ensureQuantized(kernel, s.now)
+	pa, qa, readyA := c.ensureQuantized(a, s.now, s.taskID)
+	pk, qk, readyK := c.ensureQuantized(kernel, s.now, s.taskID)
 	ready := maxDur(readyA, readyK)
 
 	out := allocResult(c, a.Rows(), a.Cols())
@@ -119,13 +120,14 @@ func (s *Stream) Conv2DStrided(a, kernel *Buffer, strideR, strideC int) *tensor.
 	if s.err != nil {
 		return nil
 	}
+	defer s.opTimer("conv2DStrided")()
 	checkShapes("conv2D-strided", strideR > 0 && strideC > 0, "strides must be positive (%d,%d)", strideR, strideC)
 	checkShapes("conv2D-strided", kernel.Rows() > 0 && kernel.Cols() > 0 &&
 		kernel.Rows() <= a.Rows() && kernel.Cols() <= a.Cols(),
 		"kernel %dx%d incompatible with input %dx%d", kernel.Rows(), kernel.Cols(), a.Rows(), a.Cols())
 	c := s.c
-	pa, qa, readyA := c.ensureQuantized(a, s.now)
-	pk, qk, readyK := c.ensureQuantized(kernel, s.now)
+	pa, qa, readyA := c.ensureQuantized(a, s.now, s.taskID)
+	pk, qk, readyK := c.ensureQuantized(kernel, s.now, s.taskID)
 	ready := maxDur(readyA, readyK)
 
 	outRows := (a.Rows() + strideR - 1) / strideR

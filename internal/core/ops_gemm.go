@@ -23,10 +23,11 @@ func (s *Stream) MatVec(a *Buffer, x []float32) []float32 {
 	if s.err != nil {
 		return nil
 	}
+	defer s.opTimer("matVec")()
 	checkShapes("FullyConnected", len(x) == a.Cols(),
 		"vector length %d != matrix cols %d", len(x), a.Cols())
 	c := s.c
-	pa, qa, readyA := c.ensureQuantized(a, s.now)
+	pa, qa, readyA := c.ensureQuantized(a, s.now, s.taskID)
 
 	// Quantize the vector (fresh each call: iterative algorithms
 	// update it every round).
@@ -166,11 +167,12 @@ func (s *Stream) MatMulFC(a, b *Buffer) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	defer s.opTimer("tpuGemmFC")()
 	checkShapes("FullyConnected-GEMM", a.Cols() == b.Rows(),
 		"inner dimensions %d vs %d", a.Cols(), b.Rows())
 	c := s.c
-	pa, qa, readyA := c.ensureQuantized(a, s.now)
-	pb, qb, readyB := c.ensureQuantized(b, s.now)
+	pa, qa, readyA := c.ensureQuantized(a, s.now, s.taskID)
+	pb, qb, readyB := c.ensureQuantized(b, s.now, s.taskID)
 	ready := maxDur(readyA, readyB)
 
 	m, n, k := a.Rows(), a.Cols(), b.Cols()
@@ -260,11 +262,12 @@ func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	defer s.opTimer("tpuGemm")()
 	checkShapes("tpuGemm", a.Cols() == b.Rows(),
 		"inner dimensions %d vs %d", a.Cols(), b.Rows())
 	c := s.c
-	pa, qa, readyA := c.ensureQuantized(a, s.now)
-	pb, qb, readyB := c.ensureQuantized(b, s.now)
+	pa, qa, readyA := c.ensureQuantized(a, s.now, s.taskID)
+	pb, qb, readyB := c.ensureQuantized(b, s.now, s.taskID)
 
 	m, n, k := a.Rows(), a.Cols(), b.Cols()
 	half := c.params.TPUMemBytes / 2
@@ -303,7 +306,7 @@ func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
 		// zero-padded to n2 and interpreted as an s x s block (a pure
 		// layout identity: the padded row *is* the row-major block).
 		da := c.derivedQuant(a, fmt.Sprintf("convA:%d:%d", seg, side), pa.Scale, int64(m)*int64(n2),
-			maxDur(readyA, s.now), func() *tensor.MatrixI8 {
+			maxDur(readyA, s.now), s.taskID, func() *tensor.MatrixI8 {
 				o := tensor.NewI8(m, n2)
 				for r := 0; r < m; r++ {
 					copy(o.Row(r)[:segN], qa.Row(r)[segStart:segStart+segN])
@@ -313,7 +316,7 @@ func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
 		// Derived layout for b's segment: kernel j holds rows
 		// segStart..segStart+segN of column j, padded to n2.
 		db := c.derivedQuant(b, fmt.Sprintf("convB:%d:%d", seg, side), pb.Scale, int64(k)*int64(n2),
-			maxDur(readyB, s.now), func() *tensor.MatrixI8 {
+			maxDur(readyB, s.now), s.taskID, func() *tensor.MatrixI8 {
 				o := tensor.NewI8(k, n2)
 				for j := 0; j < k; j++ {
 					row := o.Row(j)

@@ -31,6 +31,7 @@ func (s *Stream) pairwise(op isa.OpCode, a, b *Buffer) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	defer s.opTimer(op.String())()
 	checkShapes(op.String(), a.Rows() == b.Rows() && a.Cols() == b.Cols(),
 		"shape mismatch %dx%d vs %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
 	c := s.c
@@ -43,8 +44,8 @@ func (s *Stream) pairwise(op isa.OpCode, a, b *Buffer) *tensor.Matrix {
 		keyB   uint64
 	)
 	if op == isa.Mul {
-		pa, qam, ta := c.ensureQuantized(a, s.now)
-		pb, qbm, tb := c.ensureQuantized(b, s.now)
+		pa, qam, ta := c.ensureQuantized(a, s.now, s.taskID)
+		pb, qbm, tb := c.ensureQuantized(b, s.now, s.taskID)
 		qa, qb, sa, sb = qam, qbm, pa.Scale, pb.Scale
 		keyA, keyB = a.key, b.key
 		ready = maxDur(ta, tb)
@@ -62,10 +63,10 @@ func (s *Stream) pairwise(op isa.OpCode, a, b *Buffer) *tensor.Matrix {
 			}
 		}
 		tag := scaleTag("joint", joint)
-		da := c.derivedQuant(a, tag, joint, int64(a.M.Elems()), s.now, func() *tensor.MatrixI8 {
+		da := c.derivedQuant(a, tag, joint, int64(a.M.Elems()), s.now, s.taskID, func() *tensor.MatrixI8 {
 			return quant.QuantizeWith(a.M, quant.Params{Scale: joint})
 		})
-		db := c.derivedQuant(b, tag, joint, int64(b.M.Elems()), s.now, func() *tensor.MatrixI8 {
+		db := c.derivedQuant(b, tag, joint, int64(b.M.Elems()), s.now, s.taskID, func() *tensor.MatrixI8 {
 			return quant.QuantizeWith(b.M, quant.Params{Scale: joint})
 		})
 		qa, qb, sa, sb = da.q, db.q, joint, joint
@@ -195,8 +196,9 @@ func (s *Stream) elementwise(op isa.OpCode, a *Buffer) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	defer s.opTimer(op.String())()
 	c := s.c
-	pa, qa, ready := c.ensureQuantized(a, s.now)
+	pa, qa, ready := c.ensureQuantized(a, s.now, s.taskID)
 	out := allocResult(c, a.Rows(), a.Cols())
 	tile := isa.TileFor(op)
 	spans := tensor.TileSpans(a.Rows(), a.Cols(), tile, tile)
@@ -265,8 +267,9 @@ func (s *Stream) reduce(op isa.OpCode, a *Buffer) float32 {
 	if s.err != nil {
 		return 0
 	}
+	defer s.opTimer(op.String())()
 	c := s.c
-	pa, qa, ready := c.ensureQuantized(a, s.now)
+	pa, qa, ready := c.ensureQuantized(a, s.now, s.taskID)
 	tile := isa.TileFor(op)
 	spans := tensor.TileSpans(a.Rows(), a.Cols(), tile, tile)
 
@@ -374,10 +377,11 @@ func (s *Stream) Crop(a *Buffer, r0, c0, rows, cols int) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	defer s.opTimer("crop")()
 	checkShapes("crop", r0 >= 0 && c0 >= 0 && rows >= 0 && cols >= 0 && r0+rows <= a.Rows() && c0+cols <= a.Cols(),
 		"window (%d,%d)+%dx%d outside %dx%d", r0, c0, rows, cols, a.Rows(), a.Cols())
 	c := s.c
-	pa, qa, ready := c.ensureQuantized(a, s.now)
+	pa, qa, ready := c.ensureQuantized(a, s.now, s.taskID)
 	w := instrWork{
 		instr: isa.Instruction{Op: isa.Crop, InRows: a.Rows(), InCols: a.Cols(),
 			TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor()},
@@ -412,10 +416,11 @@ func (s *Stream) Ext(a *Buffer, rows, cols int) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	defer s.opTimer("ext")()
 	checkShapes("ext", rows >= a.Rows() && cols >= a.Cols(),
 		"target %dx%d smaller than %dx%d", rows, cols, a.Rows(), a.Cols())
 	c := s.c
-	pa, qa, ready := c.ensureQuantized(a, s.now)
+	pa, qa, ready := c.ensureQuantized(a, s.now, s.taskID)
 	w := instrWork{
 		instr: isa.Instruction{Op: isa.Ext, InRows: a.Rows(), InCols: a.Cols(),
 			TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor()},

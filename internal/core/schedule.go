@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/edgetpu"
 	"repro/internal/isa"
@@ -63,11 +64,13 @@ func (c *Context) pickDevice(w *instrWork, healthy []*edgetpu.Device) *edgetpu.D
 		if id, ok := c.affinity[k]; ok {
 			for _, d := range healthy {
 				if d.ID == id {
+					c.met.affinityHits.Inc()
 					return d
 				}
 			}
 		}
 	}
+	c.met.fcfsFallbacks.Inc()
 	// FCFS: earliest-available compute unit, round-robin on ties.
 	best := healthy[c.rr%len(healthy)]
 	for i := 1; i < len(healthy); i++ {
@@ -88,6 +91,8 @@ func (c *Context) pickDevice(w *instrWork, healthy []*edgetpu.Device) *edgetpu.D
 // download — on a chosen device, retrying on other devices if the
 // chosen one fails mid-flight.
 func (c *Context) dispatchOne(w *instrWork) (timing.Duration, error) {
+	c.met.iqDepth.Add(1)
+	defer c.met.iqDepth.Add(-1)
 	for {
 		healthy := c.Pool.Healthy()
 		if len(healthy) == 0 {
@@ -96,9 +101,13 @@ func (c *Context) dispatchOne(w *instrWork) (timing.Duration, error) {
 		d := c.pickDevice(w, healthy)
 		end, err := c.tryOn(d, w)
 		if err == nil {
+			op := w.instr.Op.String()
+			c.met.instrs.With(op).Add(float64(w.n()))
+			c.met.instrVLat.With(op).Observe((end - w.ready).Seconds())
 			return end, nil
 		}
 		if errors.Is(err, edgetpu.ErrDeviceLost) {
+			c.met.lostRetries.Inc()
 			continue // re-pick among remaining healthy devices
 		}
 		return 0, err
@@ -106,13 +115,14 @@ func (c *Context) dispatchOne(w *instrWork) (timing.Duration, error) {
 }
 
 func (c *Context) tryOn(d *edgetpu.Device, w *instrWork) (timing.Duration, error) {
+	sp := timing.Span{Op: w.instr.Op.String(), Task: w.instr.TaskID}
 	at := w.ready
 	for _, in := range w.inputs {
 		ready := in.ready
 		if ready == 0 {
 			ready = w.ready
 		}
-		t, err := d.Upload(in.key, in.bytes, ready)
+		t, err := d.UploadSpan(in.key, in.bytes, ready, sp)
 		if err != nil {
 			return 0, err
 		}
@@ -124,7 +134,7 @@ func (c *Context) tryOn(d *edgetpu.Device, w *instrWork) (timing.Duration, error
 	if err != nil {
 		return 0, err
 	}
-	at, err = d.Download(w.outBytes, at)
+	at, err = d.DownloadSpan(w.outBytes, at, sp)
 	if err != nil {
 		return 0, err
 	}
@@ -136,6 +146,7 @@ func (c *Context) tryOn(d *edgetpu.Device, w *instrWork) (timing.Duration, error
 // closures on the real machine's cores, and returns the virtual time
 // at which the last one completes.
 func (c *Context) runInstrs(works []instrWork) (timing.Duration, error) {
+	wallStart := time.Now()
 	var last timing.Duration
 	for i := range works {
 		end, err := c.dispatchOne(&works[i])
@@ -149,6 +160,7 @@ func (c *Context) runInstrs(works []instrWork) (timing.Duration, error) {
 	if c.opts.Functional {
 		runClosures(works)
 	}
+	c.met.dispatchWall.Observe(time.Since(wallStart).Seconds())
 	return last, nil
 }
 

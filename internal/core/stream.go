@@ -45,6 +45,18 @@ func (s *Stream) fail(err error) {
 	}
 }
 
+// opTimer starts a per-operator virtual-latency observation. Call at
+// operator entry and defer the returned func: it observes how long the
+// invocation occupied the stream's virtual clock.
+//
+//	defer s.opTimer("tpuGemm")()
+func (s *Stream) opTimer(op string) func() {
+	start := s.now
+	return func() {
+		s.c.met.opVLat.With(op).Observe((s.now - start).Seconds())
+	}
+}
+
 // advance moves the stream clock to the given completion time.
 func (s *Stream) advance(end timing.Duration) {
 	if end > s.now {
@@ -78,14 +90,16 @@ type derived struct {
 // derivedQuant returns (building and charging on first use) a derived
 // quantized form of b identified by tag. build runs only in
 // functional mode and must return the int8 form at the given scale.
-// elems is the logical size charged to the host-side transformation.
-func (c *Context) derivedQuant(b *Buffer, tag string, scale float32, elems int64, ready timing.Duration, build func() *tensor.MatrixI8) *derived {
+// elems is the logical size charged to the host-side transformation;
+// task tags the trace span with the OPQ task that triggered the build.
+func (c *Context) derivedQuant(b *Buffer, tag string, scale float32, elems int64, ready timing.Duration, task int, build func() *tensor.MatrixI8) *derived {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.derivedForms == nil {
 		b.derivedForms = make(map[string]*derived)
 	}
 	if d, ok := b.derivedForms[tag]; ok {
+		c.met.quantCacheHits.Inc()
 		if d.readyAt < ready {
 			// Cached: availability is the later of cache-fill time and
 			// the caller's ready time.
@@ -95,13 +109,16 @@ func (c *Context) derivedQuant(b *Buffer, tag string, scale float32, elems int64
 		}
 		return d
 	}
+	c.met.quantCacheMisses.Inc()
 	cost := c.params.QuantTime(elems)
 	if c.opts.FastModelPath {
 		cost += c.params.TensorizerEncodeTime(elems)
 	} else {
 		cost += c.params.RefCompileTime(elems)
 	}
-	_, end := c.Host.Acquire(ready, cost)
+	c.met.tensorizeVSec.Add(cost.Seconds())
+	_, end := c.Host.AcquireSpan(ready, cost,
+		timing.Span{Phase: "tensorize", Task: task, Bytes: elems})
 	c.TL.Observe(end)
 	d := &derived{key: c.nextKey(), scale: scale, readyAt: end}
 	if c.opts.Functional && build != nil {

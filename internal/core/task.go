@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"repro/internal/timing"
 )
 
 // Task is one entry of the front-end task operation queue (OPQ): an
@@ -34,7 +36,13 @@ func (c *Context) Enqueue(kernel func(s *Stream)) *Task {
 	c.mu.Lock()
 	c.pending = append(c.pending, t)
 	c.mu.Unlock()
+	c.met.tasksEnqueued.Inc()
+	c.met.opqDepth.Add(1)
+	// Record the lifecycle's first span: the enqueue instant, on the
+	// task's own trace lane (tasks start at the current makespan).
+	c.TL.Mark("opq", c.TL.Makespan(), timing.Span{Phase: "enqueue", Task: t.ID})
 	go func() {
+		defer c.met.opqDepth.Add(-1)
 		defer close(t.done)
 		defer func() {
 			if r := recover(); r != nil {

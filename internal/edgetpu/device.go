@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/pcie"
+	"repro/internal/telemetry"
 	"repro/internal/timing"
 )
 
@@ -35,15 +36,15 @@ type Device struct {
 	ic     *pcie.Interconnect
 	comp   *timing.Resource
 
-	mu        sync.Mutex
-	failed    bool
-	memUsed   int64
-	resident  map[uint64]*list.Element // values are *residentEntry
-	lru       *list.List               // front = most recently used
-	execs     int64
-	hits      int64 // uploads satisfied from on-chip residency
-	misses    int64 // uploads that crossed the interconnect
-	evictions int64
+	// met holds the device's statistics; the telemetry registry owns
+	// the counters, making every accessor a view over the registry.
+	met *deviceMetrics
+
+	mu       sync.Mutex
+	failed   bool
+	memUsed  int64
+	resident map[uint64]*list.Element // values are *residentEntry
+	lru      *list.List               // front = most recently used
 }
 
 type residentEntry struct {
@@ -51,13 +52,18 @@ type residentEntry struct {
 	bytes int64
 }
 
-// NewDevice builds device id on the shared timeline and interconnect.
-func NewDevice(id int, tl *timing.Timeline, ic *pcie.Interconnect, params *timing.Params) *Device {
+// NewDevice builds device id on the shared timeline and interconnect,
+// recording its statistics into reg (nil = a private registry).
+func NewDevice(id int, tl *timing.Timeline, ic *pcie.Interconnect, params *timing.Params, reg *telemetry.Registry) *Device {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	return &Device{
 		ID:       id,
 		params:   params,
 		ic:       ic,
 		comp:     tl.NewResource(fmt.Sprintf("edgetpu%d", id)),
+		met:      newDeviceMetrics(reg, id),
 		resident: make(map[uint64]*list.Element),
 		lru:      list.New(),
 	}
@@ -79,10 +85,13 @@ func (d *Device) Healthy() bool {
 
 // Execs returns the number of instructions executed, for scheduler
 // tests and utilization reports.
-func (d *Device) Execs() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.execs
+func (d *Device) Execs() int64 { return int64(d.met.execs.Value()) }
+
+// IOStats reports the device's interconnect traffic: transfer counts
+// and byte totals in each direction.
+func (d *Device) IOStats() (uploads, uploadBytes, downloads, downloadBytes int64) {
+	return int64(d.met.uploads.Value()), int64(d.met.uploadBytes.Value()),
+		int64(d.met.downloads.Value()), int64(d.met.downloadBytes.Value())
 }
 
 // Resident reports whether the input identified by key currently
@@ -109,9 +118,7 @@ func (d *Device) ComputeBusy() timing.Duration { return d.comp.BusyTime() }
 // interconnect, and LRU evictions. The section 6.1 scheduling rule
 // exists to maximize the hit column.
 func (d *Device) ResidencyStats() (hits, misses, evictions int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.hits, d.misses, d.evictions
+	return int64(d.met.hits.Value()), int64(d.met.misses.Value()), int64(d.met.evictions.Value())
 }
 
 // Compute exposes the matrix-unit resource for scheduler queries.
@@ -122,6 +129,12 @@ func (d *Device) Compute() *timing.Resource { return d.comp }
 // returns the time at which it is available. Zero-key inputs (pure
 // host constants) are free.
 func (d *Device) Upload(key uint64, bytes int64, ready timing.Duration) (timing.Duration, error) {
+	return d.UploadSpan(key, bytes, ready, timing.Span{Phase: "upload"})
+}
+
+// UploadSpan is Upload with task-lifecycle annotation: sp tags the
+// link occupancy with the operator and task that requested the input.
+func (d *Device) UploadSpan(key uint64, bytes int64, ready timing.Duration, sp timing.Span) (timing.Duration, error) {
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
@@ -133,24 +146,29 @@ func (d *Device) Upload(key uint64, bytes int64, ready timing.Duration) (timing.
 	}
 	if el, ok := d.resident[key]; ok {
 		d.lru.MoveToFront(el)
-		d.hits++
 		d.mu.Unlock()
+		d.met.hits.Inc()
 		return ready, nil // residency hit: no transfer
 	}
-	d.misses++
 	// Evict least-recently-used entries until the new input fits.
+	var evicted int
 	for d.memUsed+bytes > d.params.TPUMemBytes {
 		back := d.lru.Back()
 		victim := back.Value.(*residentEntry)
 		d.memUsed -= victim.bytes
 		delete(d.resident, victim.key)
 		d.lru.Remove(back)
-		d.evictions++
+		evicted++
 	}
 	d.resident[key] = d.lru.PushFront(&residentEntry{key: key, bytes: bytes})
 	d.memUsed += bytes
 	d.mu.Unlock()
-	return d.ic.Transfer(d.ID, bytes, ready), nil
+	d.met.misses.Inc()
+	d.met.evictions.Add(float64(evicted))
+	d.met.uploads.Inc()
+	d.met.uploadBytes.Add(float64(bytes))
+	sp.Phase = "upload"
+	return d.ic.TransferSpan(d.ID, bytes, ready, sp), nil
 }
 
 // Exec charges the device for one instruction ready at the given time
@@ -172,22 +190,35 @@ func (d *Device) ExecN(in *isa.Instruction, n int, ready timing.Duration) (timin
 		d.mu.Unlock()
 		return ready, ErrDeviceLost
 	}
-	d.execs += int64(n)
 	d.mu.Unlock()
-	_, end := d.comp.Acquire(ready, time.Duration(n)*d.params.InstrTime(in))
+	dur := time.Duration(n) * d.params.InstrTime(in)
+	_, end := d.comp.AcquireSpan(ready, dur,
+		timing.Span{Phase: "exec", Op: in.Op.String(), Task: in.TaskID})
+	d.met.execs.Add(float64(n))
+	d.met.execVSeconds.Add(dur.Seconds())
 	return end, nil
 }
 
 // Download transfers result bytes back to the host and returns the
 // completion time.
 func (d *Device) Download(bytes int64, ready timing.Duration) (timing.Duration, error) {
+	return d.DownloadSpan(bytes, ready, timing.Span{Phase: "download"})
+}
+
+// DownloadSpan is Download with task-lifecycle annotation.
+func (d *Device) DownloadSpan(bytes int64, ready timing.Duration, sp timing.Span) (timing.Duration, error) {
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
 		return ready, ErrDeviceLost
 	}
 	d.mu.Unlock()
-	return d.ic.Transfer(d.ID, bytes, ready), nil
+	if bytes > 0 {
+		d.met.downloads.Inc()
+		d.met.downloadBytes.Add(float64(bytes))
+	}
+	sp.Phase = "download"
+	return d.ic.TransferSpan(d.ID, bytes, ready, sp), nil
 }
 
 // Pool is the set of Edge TPUs attached to one simulated machine (the
@@ -197,12 +228,16 @@ type Pool struct {
 	IC      *pcie.Interconnect
 }
 
-// NewPool builds n devices on a shared timeline and interconnect.
-func NewPool(tl *timing.Timeline, params *timing.Params, n int) *Pool {
+// NewPool builds n devices on a shared timeline and interconnect,
+// recording device statistics into reg (nil = a private registry).
+func NewPool(tl *timing.Timeline, params *timing.Params, n int, reg *telemetry.Registry) *Pool {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	ic := pcie.New(tl, params, n)
 	p := &Pool{IC: ic}
 	for i := 0; i < n; i++ {
-		p.Devices = append(p.Devices, NewDevice(i, tl, ic, params))
+		p.Devices = append(p.Devices, NewDevice(i, tl, ic, params, reg))
 	}
 	return p
 }

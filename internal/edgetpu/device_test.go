@@ -12,7 +12,7 @@ import (
 func newTestPool(n int) (*Pool, *timing.Timeline, *timing.Params) {
 	tl := timing.NewTimeline()
 	p := timing.Default()
-	return NewPool(tl, p, n), tl, p
+	return NewPool(tl, p, n, nil), tl, p
 }
 
 func TestUploadChargesTransferOnce(t *testing.T) {

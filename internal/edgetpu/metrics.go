@@ -1,0 +1,49 @@
+package edgetpu
+
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// deviceMetrics holds one device's telemetry handles. The counters
+// are the device's *only* statistics storage: accessor methods like
+// Execs and ResidencyStats read them back, so Context.Stats and the
+// Prometheus export can never disagree.
+type deviceMetrics struct {
+	execs         *telemetry.Counter
+	execVSeconds  *telemetry.Counter
+	uploads       *telemetry.Counter
+	uploadBytes   *telemetry.Counter
+	downloads     *telemetry.Counter
+	downloadBytes *telemetry.Counter
+	hits          *telemetry.Counter
+	misses        *telemetry.Counter
+	evictions     *telemetry.Counter
+}
+
+// newDeviceMetrics registers (or joins) the per-device metric
+// families on r and returns the handles for device id.
+func newDeviceMetrics(r *telemetry.Registry, id int) *deviceMetrics {
+	dev := strconv.Itoa(id)
+	return &deviceMetrics{
+		execs: r.Counter("gptpu_device_execs_total",
+			"Edge TPU instructions executed per device.", "device").With(dev),
+		execVSeconds: r.Counter("gptpu_device_exec_vseconds_total",
+			"Virtual seconds of matrix-unit occupancy per device.", "device").With(dev),
+		uploads: r.Counter("gptpu_device_uploads_total",
+			"Host-to-device transfers that crossed the interconnect.", "device").With(dev),
+		uploadBytes: r.Counter("gptpu_device_upload_bytes_total",
+			"Bytes uploaded over the device's PCIe link.", "device").With(dev),
+		downloads: r.Counter("gptpu_device_downloads_total",
+			"Device-to-host result transfers.", "device").With(dev),
+		downloadBytes: r.Counter("gptpu_device_download_bytes_total",
+			"Bytes downloaded over the device's PCIe link.", "device").With(dev),
+		hits: r.Counter("gptpu_device_residency_hits_total",
+			"Uploads satisfied from on-chip residency (no transfer).", "device").With(dev),
+		misses: r.Counter("gptpu_device_residency_misses_total",
+			"Uploads that had to cross the interconnect.", "device").With(dev),
+		evictions: r.Counter("gptpu_device_residency_evictions_total",
+			"LRU evictions from the 8 MB on-chip memory.", "device").With(dev),
+	}
+}

@@ -66,20 +66,30 @@ func (ic *Interconnect) CardOf(dev int) int { return ic.cardOf[dev] }
 // time. Direction is symmetric in this model (the measured exchange
 // rate covers both).
 func (ic *Interconnect) Transfer(dev int, bytes int64, ready timing.Duration) timing.Duration {
+	return ic.TransferSpan(dev, bytes, ready, timing.Span{})
+}
+
+// TransferSpan is Transfer with task-lifecycle annotation for the
+// trace: sp tags the link and uplink occupancy with the phase
+// (upload/download), operator and task that moved the bytes.
+func (ic *Interconnect) TransferSpan(dev int, bytes int64, ready timing.Duration, sp timing.Span) timing.Duration {
 	if dev < 0 || dev >= len(ic.links) {
 		panic(fmt.Sprintf("pcie: device %d out of range [0,%d)", dev, len(ic.links)))
 	}
 	if bytes <= 0 {
 		return ready
 	}
+	if sp.Bytes == 0 {
+		sp.Bytes = bytes
+	}
 	linkTime := ic.params.TransferTime(bytes)
-	start, end := ic.links[dev].Acquire(ready, linkTime)
+	start, end := ic.links[dev].AcquireSpan(ready, linkTime, sp)
 	// The switch uplink carries the same bytes with 4x the lane count;
 	// it only becomes the bottleneck when more than four devices'
 	// worth of traffic share one card (not physically possible here)
 	// or when transfers pile up faster than the card drains them.
 	upTime := linkTime / uplinkLanes
-	_, upEnd := ic.uplinks[ic.cardOf[dev]].Acquire(start, upTime)
+	_, upEnd := ic.uplinks[ic.cardOf[dev]].AcquireSpan(start, upTime, sp)
 	if upEnd > end {
 		end = upEnd
 	}

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, one
+// sample line per family member, histogram expansion into _bucket
+// (cumulative, le-labelled), _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, ms := range r.Snapshot() {
+		if ms.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", ms.Name, escapeHelp(ms.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", ms.Name, ms.Type); err != nil {
+			return err
+		}
+		for _, s := range ms.Samples {
+			if err := writeSample(w, ms.Name, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name string, s Sample) error {
+	if s.Hist == nil {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, labelString(s.Labels, "", ""), formatValue(s.Value))
+		return err
+	}
+	h := s.Hist
+	for i, c := range h.Counts {
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatValue(h.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, labelString(s.Labels, "le", le), c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(s.Labels, "", ""), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(s.Labels, "", ""), h.Count)
+	return err
+}
+
+// labelString renders {a="b",...}, optionally appending one extra
+// pair (the histogram le label); empty label sets render as nothing.
+func labelString(labels []Label, extraName, extraValue string) string {
+	if len(labels) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, escapeLabel(l.Value))
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	// %q handles quote and backslash escaping; newlines are the only
+	// extra case the format cares about and %q covers those too.
+	return s
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the registry as an expvar-style JSON object:
+// metric name -> scalar value, or -> {count, sum, buckets} for
+// histograms. Labelled members key as name{a=b,c=d}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	type histJSON struct {
+		Count   uint64            `json:"count"`
+		Sum     float64           `json:"sum"`
+		Buckets map[string]uint64 `json:"buckets"`
+	}
+	obj := make(map[string]any)
+	for _, ms := range r.Snapshot() {
+		for _, s := range ms.Samples {
+			key := ms.Name
+			if len(s.Labels) > 0 {
+				var parts []string
+				for _, l := range s.Labels {
+					parts = append(parts, l.Name+"="+l.Value)
+				}
+				key += "{" + strings.Join(parts, ",") + "}"
+			}
+			if s.Hist != nil {
+				h := histJSON{Count: s.Hist.Count, Sum: s.Hist.Sum, Buckets: map[string]uint64{}}
+				for i, c := range s.Hist.Counts {
+					le := "+Inf"
+					if i < len(s.Hist.Bounds) {
+						le = formatValue(s.Hist.Bounds[i])
+					}
+					h.Buckets[le] = c
+				}
+				obj[key] = h
+			} else {
+				obj[key] = s.Value
+			}
+		}
+	}
+	// encoding/json sorts map keys, so output is deterministic.
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(obj)
+}
+
+// Handler returns an http.Handler exposing the registry: Prometheus
+// text format at the root (and /metrics), expvar-style JSON at
+// /metrics.json or when the client asks for application/json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		wantJSON := strings.HasSuffix(req.URL.Path, ".json") ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Server is a running metrics endpoint; Close shuts it down.
+type Server struct {
+	l    net.Listener
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// Close stops serving.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP server on addr exposing the registry via
+// Handler. It returns once the listener is bound; serving continues in
+// the background until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", r.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(l) }()
+	return &Server{l: l, srv: srv, addr: l.Addr().String()}, nil
+}

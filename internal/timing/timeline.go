@@ -41,6 +41,13 @@ type ival struct{ start, end Duration }
 // Acquire schedules d units of work that becomes ready at ready and
 // returns the interval [start, end) the work occupies.
 func (r *Resource) Acquire(ready, d Duration) (start, end Duration) {
+	return r.AcquireSpan(ready, d, Span{})
+}
+
+// AcquireSpan is Acquire with task-lifecycle annotation: the recorded
+// trace event (if tracing is enabled) carries sp so exports can show
+// which pipeline phase, operator and task the occupancy belongs to.
+func (r *Resource) AcquireSpan(ready, d Duration, sp Span) (start, end Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("timing: negative duration %v on %s", d, r.Name))
 	}
@@ -101,7 +108,7 @@ func (r *Resource) Acquire(ready, d Duration) (start, end Duration) {
 		r.intervals = r.intervals[:n]
 	}
 	if r.trace != nil {
-		r.trace.add(Event{Resource: r.Name, Start: start, End: end})
+		r.trace.add(Event{Resource: r.Name, Start: start, End: end, Span: sp})
 	}
 	return start, end
 }
@@ -216,11 +223,35 @@ func Seconds(d Duration) float64 { return d.Seconds() }
 // FromSeconds converts float seconds to a virtual duration.
 func FromSeconds(s float64) Duration { return Duration(s * float64(time.Second)) }
 
+// Span annotates a recorded event with task-lifecycle metadata: which
+// pipeline phase it belongs to (enqueue, tensorize, upload, exec,
+// download, aggregate), which operator issued it, which OPQ task it
+// serves, and how many bytes it moved. The zero value marks an
+// unannotated event.
+type Span struct {
+	Phase string
+	Op    string
+	Task  int
+	Bytes int64
+}
+
 // Event is one recorded resource acquisition, for trace export.
 type Event struct {
 	Resource string
 	Start    Duration
 	End      Duration
+	Span     Span
+}
+
+// Mark records a zero-duration annotated event (e.g. a task's enqueue
+// instant) directly into the trace when tracing is enabled.
+func (t *Timeline) Mark(resource string, at Duration, sp Span) {
+	t.mu.Lock()
+	tb := t.trace
+	t.mu.Unlock()
+	if tb != nil {
+		tb.add(Event{Resource: resource, Start: at, End: at, Span: sp})
+	}
 }
 
 // traceBuf collects events when tracing is enabled.

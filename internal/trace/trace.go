@@ -5,6 +5,14 @@
 // The GPTPU paper diagnoses applications precisely this way (e.g.
 // HotSpot3D's transfer-bound profile, section 9.1); this is the
 // tooling a user of the framework needs for the same analysis.
+//
+// The export carries two process groups. Process 0 ("gptpu machine")
+// has one lane per hardware resource, exactly as the timeline recorded
+// it. Process 1 ("tasks") regroups the annotated events into one lane
+// per OPQ task, showing each task's lifecycle — enqueue → tensorize →
+// upload → exec → download — as named spans. Every annotated event
+// carries an args object (phase, op, task, bytes) so Perfetto's slice
+// details identify which operator and task the occupancy belongs to.
 package trace
 
 import (
@@ -12,73 +20,206 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"repro/internal/timing"
 )
 
-// chromeEvent is one complete ("ph":"X") event of the trace format.
+// machinePID and taskPID are the two process groups of the export.
+const (
+	machinePID = 0
+	taskPID    = 1
+)
+
+// chromeEvent is one trace record; fields beyond name/ph/pid/tid are
+// optional depending on the phase type.
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`  // microseconds
-	Dur  float64 `json:"dur"` // microseconds
-	Pid  int     `json:"pid"`
-	Tid  int     `json:"tid"`
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts,omitempty"`  // microseconds
+	Dur  *float64       `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant-event scope
+	Args map[string]any `json:"args,omitempty"` // metadata
 }
 
-// metaEvent names a thread lane.
-type metaEvent struct {
-	Name string            `json:"name"`
-	Ph   string            `json:"ph"`
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
-	Args map[string]string `json:"args"`
+func us(d timing.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func ptr(v float64) *float64 { return &v }
+
+// spanArgs renders an annotated event's metadata for the args field.
+func spanArgs(sp timing.Span) map[string]any {
+	if sp == (timing.Span{}) {
+		return nil
+	}
+	args := map[string]any{}
+	if sp.Phase != "" {
+		args["phase"] = sp.Phase
+	}
+	if sp.Op != "" {
+		args["op"] = sp.Op
+	}
+	if sp.Task != 0 {
+		args["task"] = sp.Task
+	}
+	if sp.Bytes != 0 {
+		args["bytes"] = sp.Bytes
+	}
+	return args
+}
+
+// eventName picks the slice label: "phase op" for annotated events
+// (what Perfetto shows on the slice), the resource name otherwise.
+func eventName(e timing.Event) string {
+	sp := e.Span
+	switch {
+	case sp.Phase != "" && sp.Op != "":
+		return sp.Phase + " " + sp.Op
+	case sp.Phase != "":
+		return sp.Phase
+	case sp.Op != "":
+		return sp.Op
+	}
+	return e.Resource
 }
 
 // Export writes the recorded events of tl as a Chrome trace JSON
-// array. Each resource becomes one lane (thread), ordered by name;
-// every acquisition becomes a complete event. Returns the number of
-// events written.
+// array: process-name metadata, one machine lane per resource, one
+// task lane per annotated OPQ task, and args metadata on every
+// annotated slice. Returns the number of events written (metadata
+// records excluded).
 func Export(tl *timing.Timeline, w io.Writer) (int, error) {
 	events := tl.Trace()
 	if events == nil {
 		return 0, fmt.Errorf("trace: tracing was not enabled on this timeline (call EnableTrace before running)")
 	}
+	out := appendTimeline(nil, events, machinePID, taskPID, "")
+	n := 0
+	for _, rec := range out {
+		if rec.(chromeEvent).Ph != "M" {
+			n++
+		}
+	}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// ExportAll merges several traced timelines — e.g. every context a
+// benchmark sweep opened — into one Chrome trace. Each timeline gets
+// its own pair of process groups ("gptpu machine #k" / "tasks #k") so
+// runs stay visually separate in Perfetto. Untraced timelines are
+// skipped. Returns the number of events written (metadata excluded).
+func ExportAll(tls []*timing.Timeline, w io.Writer) (int, error) {
+	var out []any
+	n, k := 0, 0
+	for _, tl := range tls {
+		events := tl.Trace()
+		if events == nil {
+			continue
+		}
+		suffix := " #" + strconv.Itoa(k)
+		recs := appendTimeline(nil, events, 2*k, 2*k+1, suffix)
+		for _, rec := range recs {
+			if rec.(chromeEvent).Ph != "M" {
+				n++
+			}
+		}
+		out = append(out, recs...)
+		k++
+	}
+	if k == 0 {
+		return 0, fmt.Errorf("trace: no traced timelines to export")
+	}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// appendTimeline renders one timeline's events into chrome records
+// under the given process-group pair, appending to out.
+func appendTimeline(out []any, events []timing.Event, machinePID, taskPID int, suffix string) []any {
+	// Machine lanes: one per resource, sorted by name for determinism.
 	lanes := map[string]int{}
 	var names []string
+	// Task lanes: one per annotated task ID, sorted numerically.
+	taskSet := map[int]bool{}
 	for _, e := range events {
-		if _, ok := lanes[e.Resource]; !ok {
-			lanes[e.Resource] = 0
-			names = append(names, e.Resource)
+		if e.Start < e.End || e.Span == (timing.Span{}) {
+			if _, ok := lanes[e.Resource]; !ok {
+				lanes[e.Resource] = 0
+				names = append(names, e.Resource)
+			}
+		}
+		if e.Span.Task > 0 {
+			taskSet[e.Span.Task] = true
 		}
 	}
 	sort.Strings(names)
 	for i, n := range names {
 		lanes[n] = i
 	}
+	var tasks []int
+	for t := range taskSet {
+		tasks = append(tasks, t)
+	}
+	sort.Ints(tasks)
 
-	var out []any
+	out = append(out,
+		chromeEvent{Name: "process_name", Ph: "M", Pid: machinePID,
+			Args: map[string]any{"name": "gptpu machine" + suffix}},
+		chromeEvent{Name: "process_name", Ph: "M", Pid: taskPID,
+			Args: map[string]any{"name": "tasks" + suffix}},
+	)
 	for _, n := range names {
-		out = append(out, metaEvent{
-			Name: "thread_name", Ph: "M", Pid: 0, Tid: lanes[n],
-			Args: map[string]string{"name": n},
-		})
-	}
-	for _, e := range events {
 		out = append(out, chromeEvent{
-			Name: e.Resource,
-			Ph:   "X",
-			Ts:   float64(e.Start.Nanoseconds()) / 1e3,
-			Dur:  float64((e.End - e.Start).Nanoseconds()) / 1e3,
-			Pid:  0,
-			Tid:  lanes[e.Resource],
+			Name: "thread_name", Ph: "M", Pid: machinePID, Tid: lanes[n],
+			Args: map[string]any{"name": n},
 		})
 	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(out); err != nil {
-		return 0, err
+	for _, t := range tasks {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: taskPID, Tid: t,
+			Args: map[string]any{"name": "task " + strconv.Itoa(t)},
+		})
 	}
-	return len(events), nil
+
+	for _, e := range events {
+		args := spanArgs(e.Span)
+		if e.Start == e.End {
+			// Zero-duration marks (e.g. a task's enqueue instant)
+			// render as thread-scoped instant events on the task lane.
+			if e.Span.Task > 0 {
+				out = append(out, chromeEvent{
+					Name: eventName(e), Ph: "i", Ts: ptr(us(e.Start)),
+					Pid: taskPID, Tid: e.Span.Task, S: "t", Args: args,
+				})
+			}
+			continue
+		}
+		out = append(out, chromeEvent{
+			Name: eventName(e), Ph: "X",
+			Ts: ptr(us(e.Start)), Dur: ptr(us(e.End - e.Start)),
+			Pid: machinePID, Tid: lanes[e.Resource], Args: args,
+		})
+		if e.Span.Task > 0 {
+			// Mirror the slice onto its task's lifecycle lane with the
+			// resource it occupied recorded in args.
+			targs := map[string]any{"resource": e.Resource}
+			for k, v := range args {
+				targs[k] = v
+			}
+			out = append(out, chromeEvent{
+				Name: eventName(e), Ph: "X",
+				Ts: ptr(us(e.Start)), Dur: ptr(us(e.End - e.Start)),
+				Pid: taskPID, Tid: e.Span.Task, Args: targs,
+			})
+		}
+	}
+	return out
 }
 
 // Summary aggregates the trace into per-resource busy time and
@@ -92,13 +233,18 @@ type Summary struct {
 }
 
 // Summarize computes per-resource occupancy statistics from the
-// recorded events.
+// recorded events. Zero-duration marks (task-lifecycle instants) do
+// not count as resource occupancy. The result is sorted by resource
+// name, so repeated calls over the same timeline are deterministic.
 func Summarize(tl *timing.Timeline) []Summary {
 	events := tl.Trace()
 	mk := tl.Makespan().Seconds()
 	agg := map[string]*Summary{}
 	var names []string
 	for _, e := range events {
+		if e.Start == e.End {
+			continue
+		}
 		s, ok := agg[e.Resource]
 		if !ok {
 			s = &Summary{Resource: e.Resource}

@@ -23,6 +23,15 @@ func tracedTimeline(t *testing.T) *timing.Timeline {
 	return tl
 }
 
+func decode(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
 func TestExportChromeFormat(t *testing.T) {
 	tl := tracedTimeline(t)
 	var buf bytes.Buffer
@@ -33,19 +42,19 @@ func TestExportChromeFormat(t *testing.T) {
 	if n != 3 {
 		t.Fatalf("exported %d events, want 3", n)
 	}
-	var arr []map[string]any
-	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
-		t.Fatal(err)
+	arr := decode(t, &buf)
+	// 2 process-name + 2 thread-name metadata + 3 complete events.
+	if len(arr) != 7 {
+		t.Fatalf("got %d records, want 7", len(arr))
 	}
-	// 2 thread-name metadata + 3 complete events.
-	if len(arr) != 5 {
-		t.Fatalf("got %d records, want 5", len(arr))
-	}
-	var metas, completes int
+	var metas, completes, processNames int
 	for _, rec := range arr {
 		switch rec["ph"] {
 		case "M":
 			metas++
+			if rec["name"] == "process_name" {
+				processNames++
+			}
 		case "X":
 			completes++
 			if rec["dur"].(float64) <= 0 {
@@ -53,8 +62,8 @@ func TestExportChromeFormat(t *testing.T) {
 			}
 		}
 	}
-	if metas != 2 || completes != 3 {
-		t.Fatalf("metas=%d completes=%d", metas, completes)
+	if metas != 4 || completes != 3 || processNames != 2 {
+		t.Fatalf("metas=%d completes=%d processNames=%d", metas, completes, processNames)
 	}
 }
 
@@ -64,6 +73,134 @@ func TestExportWithoutTracing(t *testing.T) {
 	var buf bytes.Buffer
 	if _, err := Export(tl, &buf); err == nil {
 		t.Fatal("expected error when tracing disabled")
+	}
+}
+
+// TestExportEmptyTimeline: tracing enabled but nothing ran — the
+// export must still be a valid (metadata-only) JSON array.
+func TestExportEmptyTimeline(t *testing.T) {
+	tl := timing.NewTimeline()
+	tl.EnableTrace()
+	var buf bytes.Buffer
+	n, err := Export(tl, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("empty timeline exported %d events", n)
+	}
+	arr := decode(t, &buf)
+	if len(arr) != 2 { // the two process_name records
+		t.Fatalf("got %d records, want 2", len(arr))
+	}
+}
+
+// TestExportSpanArgs: annotated acquisitions carry op/task/bytes args
+// and are mirrored onto per-task lifecycle lanes (pid 1).
+func TestExportSpanArgs(t *testing.T) {
+	tl := timing.NewTimeline()
+	tl.EnableTrace()
+	dev := tl.NewResource("edgetpu0")
+	link := tl.NewResource("pcie-dev0-link")
+	tl.Mark("opq", 0, timing.Span{Phase: "enqueue", Task: 7})
+	link.AcquireSpan(0, time.Millisecond,
+		timing.Span{Phase: "upload", Op: "conv2D", Task: 7, Bytes: 4096})
+	dev.AcquireSpan(time.Millisecond, 2*time.Millisecond,
+		timing.Span{Phase: "exec", Op: "conv2D", Task: 7})
+
+	var buf bytes.Buffer
+	if _, err := Export(tl, &buf); err != nil {
+		t.Fatal(err)
+	}
+	arr := decode(t, &buf)
+
+	var taskLane, machineArgs, instants int
+	var sawProcessName bool
+	for _, rec := range arr {
+		if rec["name"] == "process_name" && rec["pid"].(float64) == 1 {
+			sawProcessName = true
+			if rec["args"].(map[string]any)["name"] != "tasks" {
+				t.Fatalf("task process name: %v", rec)
+			}
+		}
+		args, _ := rec["args"].(map[string]any)
+		switch rec["ph"] {
+		case "X":
+			if rec["pid"].(float64) == 1 {
+				taskLane++
+				if rec["tid"].(float64) != 7 {
+					t.Fatalf("task lane tid: %v", rec)
+				}
+				if args["resource"] == nil {
+					t.Fatalf("task-lane slice without resource arg: %v", rec)
+				}
+			} else if args["op"] == "conv2D" {
+				machineArgs++
+				if args["task"].(float64) != 7 {
+					t.Fatalf("machine slice task arg: %v", rec)
+				}
+			}
+		case "i":
+			instants++
+			if args["phase"] != "enqueue" {
+				t.Fatalf("instant args: %v", rec)
+			}
+		}
+	}
+	if !sawProcessName || taskLane != 2 || machineArgs != 2 || instants != 1 {
+		t.Fatalf("processName=%v taskLane=%d machineArgs=%d instants=%d",
+			sawProcessName, taskLane, machineArgs, instants)
+	}
+	// The upload slice must carry its byte count.
+	var sawBytes bool
+	for _, rec := range arr {
+		if args, ok := rec["args"].(map[string]any); ok && args["phase"] == "upload" {
+			if args["bytes"].(float64) == 4096 {
+				sawBytes = true
+			}
+		}
+	}
+	if !sawBytes {
+		t.Fatal("upload slice lost its bytes arg")
+	}
+}
+
+// TestExportDeterministicLanes: repeated exports of the same timeline
+// must be byte-identical (lane numbering must not depend on map
+// iteration order).
+func TestExportDeterministicLanes(t *testing.T) {
+	tl := timing.NewTimeline()
+	tl.EnableTrace()
+	// Enough lanes that map iteration order would scramble them.
+	for i := 0; i < 12; i++ {
+		name := string(rune('a'+11-i)) + "-res"
+		tl.NewResource(name).AcquireSpan(0, time.Millisecond,
+			timing.Span{Phase: "exec", Op: "add", Task: i + 1})
+	}
+	var first bytes.Buffer
+	if _, err := Export(tl, &first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		if _, err := Export(tl, &again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("export %d differs from first", i)
+		}
+	}
+	// Lane tids follow sorted resource order.
+	arr := decode(t, &first)
+	var lastName string
+	for _, rec := range arr {
+		if rec["name"] == "thread_name" && rec["pid"].(float64) == 0 {
+			name := rec["args"].(map[string]any)["name"].(string)
+			if lastName != "" && name < lastName {
+				t.Fatalf("lanes out of order: %q after %q", name, lastName)
+			}
+			lastName = name
+		}
 	}
 }
 
@@ -85,5 +222,56 @@ func TestSummarize(t *testing.T) {
 	}
 	if sums[1].Utilization < 0.7 || sums[1].Utilization > 0.72 {
 		t.Fatalf("link utilization %v, want ~5/7", sums[1].Utilization)
+	}
+}
+
+// TestSummarizeEmptyTimeline: no events means no summaries, not a
+// panic or a nil-map surprise.
+func TestSummarizeEmptyTimeline(t *testing.T) {
+	tl := timing.NewTimeline()
+	tl.EnableTrace()
+	if sums := Summarize(tl); len(sums) != 0 {
+		t.Fatalf("empty timeline summaries: %+v", sums)
+	}
+}
+
+// TestSummarizeZeroMakespan: zero-duration marks are ignored, and a
+// timeline whose makespan is zero yields zero utilization (not NaN or
+// a divide-by-zero panic).
+func TestSummarizeZeroMakespan(t *testing.T) {
+	tl := timing.NewTimeline()
+	tl.EnableTrace()
+	tl.NewResource("idle")
+	tl.Mark("opq", 0, timing.Span{Phase: "enqueue", Task: 1})
+	sums := Summarize(tl)
+	if len(sums) != 0 {
+		t.Fatalf("marks must not count as occupancy: %+v", sums)
+	}
+	if mk := tl.Makespan(); mk != 0 {
+		t.Fatalf("makespan %v, want 0", mk)
+	}
+}
+
+// TestSummarizeDeterministicOrder: lane ordering is stable across
+// repeated summaries regardless of event arrival order.
+func TestSummarizeDeterministicOrder(t *testing.T) {
+	tl := timing.NewTimeline()
+	tl.EnableTrace()
+	for _, name := range []string{"zeta", "alpha", "mid", "beta", "omega"} {
+		tl.NewResource(name).Acquire(0, time.Millisecond)
+	}
+	first := Summarize(tl)
+	for i := 1; i < len(first); i++ {
+		if first[i].Resource < first[i-1].Resource {
+			t.Fatalf("unsorted: %q after %q", first[i].Resource, first[i-1].Resource)
+		}
+	}
+	for rep := 0; rep < 5; rep++ {
+		again := Summarize(tl)
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("rep %d order drift: %+v vs %+v", rep, again[i], first[i])
+			}
+		}
 	}
 }

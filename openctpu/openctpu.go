@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	gptpu "repro"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -110,6 +111,16 @@ type Context struct {
 func Init(devices int) *Context {
 	return &Context{ctx: gptpu.Open(gptpu.Config{Devices: devices}), tasks: map[int]*gptpu.Task{}}
 }
+
+// Context returns the underlying gptpu context, through which ported
+// code reaches the runtime's telemetry (Metrics, Stats, ServeMetrics)
+// and timing surfaces without leaving the transliterated API.
+func (c *Context) Context() *gptpu.Context { return c.ctx }
+
+// Metrics exposes the runtime telemetry registry (see
+// gptpu.Context.Metrics); the C API has no equivalent, but ported
+// code needs the same observability as idiomatic code.
+func (c *Context) Metrics() *telemetry.Registry { return c.ctx.Metrics() }
 
 // CreateBuffer mirrors openctpu_create_buffer: "creates an input data
 // buffer for TPU kernels" over raw host data.
