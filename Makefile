@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race ci bench clean
+.PHONY: all build test vet race ci bench bench-json clean
 
 all: build
 
@@ -22,6 +22,12 @@ ci: vet race
 
 bench:
 	$(GO) run ./cmd/gptpu-bench
+
+# bench-json captures the dispatch-engine characterization (serial vs
+# parallel dispatch wall time, virtual makespan, per-device
+# utilization) as JSON, starting the repo's perf trajectory.
+bench-json:
+	$(GO) run ./cmd/gptpu-bench -exp dispatch -format json > BENCH_PR2.json
 
 clean:
 	$(GO) clean ./...

@@ -33,6 +33,11 @@ type Config struct {
 	OnDeviceReduce bool
 	// Sampled selects sampling-based range calibration.
 	Sampled bool
+	// DispatchWorkers is the worker count of the back-end IQ dispatch
+	// engine (0 = one per host core). Virtual-time results are
+	// identical for every worker count; more workers only speed up the
+	// real wall clock of functional dispatch.
+	DispatchWorkers int
 	// Params overrides the calibrated cost model (nil = default).
 	Params *timing.Params
 	// Metrics is the telemetry registry the runtime records into.
@@ -65,6 +70,7 @@ func Open(cfg Config) *Context {
 	if cfg.Sampled {
 		o.QuantMethod = quant.MethodSampled
 	}
+	o.DispatchWorkers = cfg.DispatchWorkers
 	o.Params = cfg.Params
 	o.Metrics = cfg.Metrics
 	c := core.NewContext(o)
@@ -245,5 +251,12 @@ func (x *Context) Elapsed() timing.Duration { return x.c.Elapsed() }
 // Energy returns the platform energy accounting so far.
 func (x *Context) Energy() energy.Report { return x.c.Energy() }
 
-// Reset rewinds virtual time and scheduler state.
+// Reset rewinds virtual time and scheduler state. It quiesces the
+// dispatch engine first; do not race it against still-enqueued tasks.
 func (x *Context) Reset() { x.c.Reset() }
+
+// Close retires the dispatch engine's worker goroutines. Optional —
+// an idle context holds no goroutines — but gives tools a
+// deterministic teardown point. Sync first; operators after Close
+// panic.
+func (x *Context) Close() { x.c.Close() }

@@ -33,6 +33,7 @@ func main() {
 	full := flag.Bool("full", false, "run paper-scale configurations (slower)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	workers := flag.Int("workers", 0, "IQ dispatch-engine worker goroutines per context (0 = one per host core)")
 	format := flag.String("format", "text", "output format: text|csv|json")
 	metricsOut := flag.String("metrics", "", "write the sweep-wide telemetry snapshot to this file (Prometheus text; expvar JSON if the name ends in .json)")
 	traceOut := flag.String("trace", "", "write the merged Chrome trace of every context to this file")
@@ -69,12 +70,18 @@ func main() {
 		gptpu.SetDefaultTrace(true)
 	}
 
-	opts := bench.Opts{Full: *full}
+	opts := bench.Opts{Full: *full, Workers: *workers}
 	mode := "quick"
 	if *full {
 		mode = "full (paper-scale)"
 	}
-	fmt.Printf("GPTPU reproduction harness — %d experiment(s), %s mode\n\n", len(selected), mode)
+	// Machine-readable formats keep stdout pure (they are meant to be
+	// redirected, e.g. make bench-json); the banner goes to stderr.
+	banner := os.Stdout
+	if *format == "csv" || *format == "json" {
+		banner = os.Stderr
+	}
+	fmt.Fprintf(banner, "GPTPU reproduction harness — %d experiment(s), %s mode\n\n", len(selected), mode)
 	for _, e := range selected {
 		start := time.Now()
 		rep := e.Run(opts)

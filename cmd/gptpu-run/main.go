@@ -42,6 +42,7 @@ func main() {
 	n := flag.Int("n", 1024, "linear problem size (options count for blackscholes)")
 	iters := flag.Int("iters", 10, "iterations (pagerank/hotspot3d)")
 	devices := flag.Int("devices", 1, "number of Edge TPUs")
+	workers := flag.Int("workers", 0, "IQ dispatch-engine worker goroutines (0 = one per host core; only affects wall-clock speed, never simulated results)")
 	functional := flag.Bool("functional", true, "compute real results (disable for paper-scale timing sweeps)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	traceOut := flag.String("trace", "", "write Chrome trace JSON to this file")
@@ -49,9 +50,10 @@ func main() {
 	flag.Parse()
 
 	ctx := gptpu.Open(gptpu.Config{
-		Devices:    *devices,
-		TimingOnly: !*functional,
-		Trace:      *traceOut != "",
+		Devices:         *devices,
+		TimingOnly:      !*functional,
+		DispatchWorkers: *workers,
+		Trace:           *traceOut != "",
 	})
 
 	tpuM, cpuM, err := run(*app, ctx, *n, *iters, *seed, *functional)

@@ -240,8 +240,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown id must not resolve")
 	}
-	if len(All()) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(All()))
+	if len(All()) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(All()))
 	}
 }
 

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	gptpu "repro"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// Dispatch characterizes the back-end IQ dispatch engine: the same
+// fixed functional workload runs with one dispatch worker (serial,
+// the pre-engine behaviour) and with one worker per host core,
+// reporting real host wall time, the dispatch-wall histogram total,
+// virtual makespan, and per-device compute utilization. The virtual
+// makespan column must be identical across worker counts — the
+// engine's charge stage is ordered exactly so that worker count is
+// invisible to the simulation — while the wall columns show the
+// engine overlapping functional closures across cores.
+func Dispatch(o Opts) *Report {
+	rep := &Report{
+		ID:    "dispatch",
+		Title: "IQ dispatch engine: serial vs parallel wall time (virtual results identical)",
+		Header: []string{"devices", "workers", "wall", "dispatch-wall", "makespan",
+			"wall-speedup", "avg-dev-util"},
+	}
+	n := 256
+	if o.Full {
+		n = 768
+	}
+	parallelWorkers := o.Workers
+	if parallelWorkers <= 0 {
+		// At least 4 so the parallel configuration differs from the
+		// serial row even on single-core hosts (where concurrency
+		// cannot become parallelism and the wall columns converge).
+		parallelWorkers = maxI(4, runtime.GOMAXPROCS(0))
+	}
+
+	for _, devs := range []int{4, 8} {
+		serial := runDispatch(devs, 1, n)
+		par := runDispatch(devs, parallelWorkers, n)
+		rep.AddRow(fmt.Sprintf("%d", devs), "1",
+			secs(serial.wall.Seconds()), secs(serial.dispatchWall), secs(serial.makespan),
+			"1.00x", pct(serial.devUtil))
+		rep.AddRow(fmt.Sprintf("%d", devs), fmt.Sprintf("%d", parallelWorkers),
+			secs(par.wall.Seconds()), secs(par.dispatchWall), secs(par.makespan),
+			f2x(serial.wall.Seconds()/par.wall.Seconds()), pct(par.devUtil))
+		if serial.makespan == par.makespan {
+			rep.AddNote("devices=%d: virtual makespan identical across worker counts (%.6fs)",
+				devs, par.makespan)
+		} else {
+			rep.AddNote("devices=%d: MAKESPAN DIVERGED: serial %.9fs vs parallel %.9fs",
+				devs, serial.makespan, par.makespan)
+		}
+	}
+	rep.AddNote("workload: functional tpuGemm %dx%d + Add + Conv2D on one stream", n, n)
+	return rep
+}
+
+// dispatchRun is one measured configuration.
+type dispatchRun struct {
+	wall         time.Duration
+	dispatchWall float64 // sum of gptpu_dispatch_wall_seconds
+	makespan     float64 // virtual seconds
+	devUtil      float64 // mean device compute utilization over the makespan
+}
+
+// runDispatch executes the fixed dispatch workload once.
+func runDispatch(devices, workers, n int) dispatchRun {
+	reg := telemetry.NewRegistry()
+	ctx := gptpu.Open(gptpu.Config{
+		Devices:         devices,
+		DispatchWorkers: workers,
+		Metrics:         reg,
+	})
+	defer ctx.Close()
+
+	a := randMatrix(n, 1)
+	b := randMatrix(n, 2)
+	k := randMatrix(3, 3)
+	ba := ctx.CreateMatrixBuffer(a)
+	bb := ctx.CreateMatrixBuffer(b)
+	bk := ctx.CreateMatrixBuffer(k)
+
+	start := time.Now()
+	op := ctx.NewOp()
+	op.Gemm(ba, bb)
+	op.Add(ba, bb)
+	op.Conv2D(ba, bk)
+	wall := time.Since(start)
+	if err := op.Err(); err != nil {
+		panic(err)
+	}
+
+	r := dispatchRun{wall: wall, makespan: ctx.Elapsed().Seconds()}
+	for _, snap := range reg.Snapshot() {
+		if snap.Name == "gptpu_dispatch_wall_seconds" {
+			for _, s := range snap.Samples {
+				if s.Hist != nil {
+					r.dispatchWall += s.Hist.Sum
+				}
+			}
+		}
+	}
+	if r.makespan > 0 {
+		var busy float64
+		for _, d := range ctx.Core().Pool.Devices {
+			busy += d.ComputeBusy().Seconds()
+		}
+		r.devUtil = busy / (float64(devices) * r.makespan)
+	}
+	return r
+}
+
+// randMatrix builds a deterministic pseudo-random matrix (an LCG keyed
+// by seed, so the dispatch workload is byte-identical across runs).
+func randMatrix(n int, seed uint32) *tensor.Matrix {
+	m := tensor.New(n, n)
+	state := seed*2654435761 + 1
+	for i := range m.Data {
+		state = state*1664525 + 1013904223
+		m.Data[i] = float32(int32(state>>16)%1000) / 500
+	}
+	return m
+}

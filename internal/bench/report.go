@@ -24,6 +24,10 @@ type Opts struct {
 	Full bool
 	// Verbose adds per-configuration diagnostic rows.
 	Verbose bool
+	// Workers is the IQ dispatch-engine worker count experiments pass
+	// through to the contexts they open (0 = one per host core). Only
+	// affects real wall-clock dispatch, never simulated results.
+	Workers int
 }
 
 // Report is one regenerated table or figure.
@@ -128,6 +132,7 @@ func All() []Experiment {
 		{"ablations", "Design-decision ablations (DESIGN.md section 5)", Ablations},
 		{"precision", "GEMM accuracy/latency variants (section 10 extension)", Precision},
 		{"sensitivity", "Calibration-constant sensitivity of the conclusions", Sensitivity},
+		{"dispatch", "IQ dispatch engine: serial vs parallel wall time", Dispatch},
 	}
 }
 

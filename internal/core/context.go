@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -54,6 +55,12 @@ type Options struct {
 	// QuantMethod selects range calibration (SCALE scans, Sampled
 	// samples).
 	QuantMethod quant.Method
+	// DispatchWorkers is the worker count of the back-end IQ dispatch
+	// engine (0 = one worker per host core, GOMAXPROCS). Workers run
+	// functional closures wall-clock-parallel; virtual-time results
+	// are identical for every worker count, because timeline charging
+	// always happens in instruction-queue order.
+	DispatchWorkers int
 	// Params overrides the calibrated cost model (nil = Default).
 	Params *timing.Params
 	// Metrics is the telemetry registry the runtime records into
@@ -90,6 +97,9 @@ type Context struct {
 
 	keySeq  atomic.Uint64
 	taskSeq atomic.Int64
+
+	engOnce sync.Once
+	eng     *engine
 
 	mu       sync.Mutex
 	affinity map[affinityKey]int
@@ -199,11 +209,40 @@ func (c *Context) Elapsed() timing.Duration { return c.TL.Makespan() }
 // Energy returns the wall-power energy accounting for the work so far.
 func (c *Context) Energy() energy.Report { return energy.Measure(c.TL) }
 
+// engine returns the context's back-end IQ dispatch engine, creating
+// it (without spawning workers — they start lazily on submission) on
+// first use.
+func (c *Context) engine() *engine {
+	c.engOnce.Do(func() {
+		w := c.opts.DispatchWorkers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		c.eng = newEngine(c, w)
+	})
+	return c.eng
+}
+
+// Close retires the dispatch engine's workers. It is optional — an
+// idle engine holds no goroutines — but gives tools a deterministic
+// teardown point. The context must be quiescent (Sync'd) first;
+// operators invoked after Close panic.
+func (c *Context) Close() {
+	c.engine().close()
+}
+
 // Reset rewinds virtual time and scheduler state (buffers keep their
 // cached quantization; their residency is forgotten along with the
-// device memories, which restart cold).
+// device memories, which restart cold). It first quiesces the
+// dispatch engine — in-flight instructions finish charging before the
+// timeline rewinds — but the caller must not race Reset against
+// streams that are still submitting work.
 func (c *Context) Reset() {
+	c.engine().drain()
 	c.TL.Reset()
+	for _, d := range c.Pool.Devices {
+		d.ResetState()
+	}
 	c.mu.Lock()
 	c.affinity = make(map[affinityKey]int)
 	c.rr = 0

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/edgetpu"
+	"repro/internal/timing"
+)
+
+// iqCap bounds the back-end instruction queue. Submitters block once
+// this many instructions are waiting — the backpressure that keeps a
+// fast front-end (the Tensorizer emitting thousands of tile
+// instructions) from buffering an entire paper-scale sweep in memory.
+const iqCap = 256
+
+// batch tracks one submission through the IQ: how many of its
+// instructions are still outstanding, the latest virtual completion
+// time seen, and the first dispatch error.
+type batch struct {
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	last timing.Duration
+	err  error
+}
+
+// complete records one instruction's outcome.
+func (b *batch) complete(end timing.Duration, err error) {
+	b.mu.Lock()
+	if err != nil && b.err == nil {
+		b.err = err
+	}
+	if end > b.last {
+		b.last = end
+	}
+	b.mu.Unlock()
+	b.wg.Done()
+}
+
+// failed reports whether any instruction of the batch has errored;
+// later instructions of a failed batch skip dispatch (the submitting
+// operator discards the whole result).
+func (b *batch) failed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err != nil
+}
+
+// collect waits for every instruction and returns the outcome.
+func (b *batch) collect() (timing.Duration, error) {
+	b.wg.Wait()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return 0, b.err
+	}
+	return b.last, nil
+}
+
+// iqItem is one queued IQ entry: the instruction work, the batch it
+// belongs to, its position in the global charge order, and its
+// enqueue instant (for the enqueue-to-issue latency histogram).
+type iqItem struct {
+	w   *instrWork
+	b   *batch
+	seq uint64
+	enq time.Time
+}
+
+// engine is the back-end instruction-queue runtime of Figure 4: a
+// bounded FIFO of instructions feeding a pool of worker goroutines.
+//
+// Execution is split in two phases with different concurrency rules:
+//
+//   - Timeline charging (device assignment via pickDevice, upload/
+//     exec/download accounting, device-lost retry) mutates shared
+//     virtual-time state — device compute units, per-card PCIe
+//     uplinks, the affinity table, FCFS availability queries — so its
+//     outcome depends on operation order. Workers therefore charge
+//     strictly in enqueue order, handing a sequence ticket from one
+//     instruction to the next. This keeps the virtual makespan
+//     bit-identical for any worker count or GOMAXPROCS.
+//
+//   - Functional closures (the bit-exact int8 computation) are pure
+//     with respect to runtime state and run wall-clock-parallel on the
+//     workers, overlapping with the charging of later instructions.
+//
+// Workers are spawned lazily on submission and retire when the queue
+// drains, so idle contexts hold no goroutines and no explicit
+// shutdown is required (Close exists for deterministic teardown).
+type engine struct {
+	c       *Context
+	workers int
+
+	mu       sync.Mutex
+	cond     *sync.Cond // guards every predicate below
+	queue    []iqItem   // FIFO, at most iqCap entries
+	nextSeq  uint64     // sequence of the next enqueued item
+	turn     uint64     // sequence currently allowed to charge
+	running  int        // live worker goroutines
+	inflight int        // items enqueued but not yet completed
+	freeIDs  []int      // retired worker slots, for stable telemetry labels
+	nextID   int
+	closed   bool
+}
+
+func newEngine(c *Context, workers int) *engine {
+	e := &engine{c: c, workers: workers}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// submit enqueues every entry of works on behalf of bt, blocking for
+// queue space (backpressure) and spawning workers up to the
+// configured count. Entries of one submission enter the queue — and
+// therefore the charge order — in slice order.
+func (e *engine) submit(works []instrWork, bt *batch) {
+	bt.wg.Add(len(works))
+	e.mu.Lock()
+	for i := range works {
+		for len(e.queue) >= iqCap && !e.closed {
+			e.cond.Wait()
+		}
+		if e.closed {
+			panic("core: submit on closed context")
+		}
+		e.queue = append(e.queue, iqItem{w: &works[i], b: bt, seq: e.nextSeq, enq: time.Now()})
+		e.nextSeq++
+		e.inflight++
+		e.c.met.iqDepth.Add(1)
+		if e.running < e.workers {
+			e.running++
+			id := e.nextID
+			if n := len(e.freeIDs); n > 0 {
+				id = e.freeIDs[n-1]
+				e.freeIDs = e.freeIDs[:n-1]
+			} else {
+				e.nextID++
+			}
+			go e.worker(id)
+		}
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// worker is one dispatch goroutine: pop the queue front, wait for the
+// charge turn, charge the instruction's virtual pipeline, release the
+// turn, then run the functional closure in parallel with other
+// workers. id labels this worker slot's telemetry.
+func (e *engine) worker(id int) {
+	label := strconv.Itoa(id)
+	busy := e.c.met.workerBusy.With(label)
+	items := e.c.met.workerItems.With(label)
+
+	e.mu.Lock()
+	for {
+		for len(e.queue) == 0 {
+			if e.closed || e.inflight == 0 {
+				e.running--
+				e.freeIDs = append(e.freeIDs, id)
+				e.cond.Broadcast()
+				e.mu.Unlock()
+				return
+			}
+			e.cond.Wait()
+		}
+		item := e.queue[0]
+		e.queue = e.queue[1:]
+		e.cond.Broadcast() // queue space freed: wake submitters
+		// Wait for this item's charge turn. Items pop in FIFO = seq
+		// order, so the turn owner is always held by some worker.
+		for e.turn != item.seq {
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+
+		start := time.Now()
+		e.c.met.queueWait.Observe(start.Sub(item.enq).Seconds())
+		var (
+			end timing.Duration
+			err error
+		)
+		if !item.b.failed() {
+			end, err = e.c.chargeInstr(item.w)
+		}
+
+		e.mu.Lock()
+		e.turn++
+		e.cond.Broadcast()
+		e.mu.Unlock()
+
+		if err == nil && item.w.fn != nil && !item.b.failed() {
+			item.w.fn()
+		}
+		items.Inc()
+		busy.Add(time.Since(start).Seconds())
+		item.b.complete(end, err)
+
+		e.mu.Lock()
+		e.inflight--
+		e.c.met.iqDepth.Add(-1)
+		if e.inflight == 0 {
+			e.cond.Broadcast()
+		}
+	}
+}
+
+// drain blocks until the IQ holds no queued or in-flight
+// instructions. Context.Reset quiesces through it before rewinding
+// the timeline, so no worker charges virtual time across the rewind.
+func (e *engine) drain() {
+	e.mu.Lock()
+	for e.inflight > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// close drains the queue and retires every worker. Submitting after
+// close panics; it exists for deterministic teardown, not lifecycle
+// management (idle engines hold no goroutines anyway).
+func (e *engine) close() {
+	e.mu.Lock()
+	for e.inflight > 0 {
+		e.cond.Wait()
+	}
+	e.closed = true
+	e.cond.Broadcast()
+	for e.running > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// chargeInstr charges one instruction's full virtual pipeline —
+// operand uploads (skipped on residency hits), matrix-unit execution,
+// result download — on the device pickDevice assigns, re-entering the
+// assignment stage when the chosen device fails mid-flight so the
+// instruction is never lost while a healthy device remains.
+func (c *Context) chargeInstr(w *instrWork) (timing.Duration, error) {
+	for {
+		healthy := c.Pool.Healthy()
+		if len(healthy) == 0 {
+			return 0, ErrNoDevices
+		}
+		d := c.pickDevice(w, healthy)
+		end, err := c.tryOn(d, w)
+		if err == nil {
+			op := w.instr.Op.String()
+			c.met.instrs.With(op).Add(float64(w.n()))
+			c.met.instrVLat.With(op).Observe((end - w.ready).Seconds())
+			return end, nil
+		}
+		if errors.Is(err, edgetpu.ErrDeviceLost) {
+			c.met.lostRetries.Inc()
+			continue // re-enqueue with the remaining healthy devices
+		}
+		return 0, err
+	}
+}

@@ -33,6 +33,11 @@ type runtimeMetrics struct {
 	// Real wall time the host spends dispatching one IQ batch
 	// (including functional closures) — the second time dimension.
 	dispatchWall *telemetry.Histogram
+	// Dispatch-engine internals: wall time an instruction waits in the
+	// IQ between enqueue and issue, and per-worker-slot occupancy.
+	queueWait   *telemetry.Histogram
+	workerBusy  *telemetry.CounterVec // by worker slot, wall seconds
+	workerItems *telemetry.CounterVec // by worker slot
 
 	// Tensorizer (host-side data transformation).
 	quantCacheHits   *telemetry.Counter
@@ -56,7 +61,7 @@ func newRuntimeMetrics(reg *telemetry.Registry) *runtimeMetrics {
 		opqDepth: reg.Gauge("gptpu_opq_depth",
 			"OPQ tasks currently running (enqueued, not yet finished).").With(),
 		iqDepth: reg.Gauge("gptpu_iq_depth",
-			"IQ instructions currently in dispatch.").With(),
+			"IQ instructions enqueued to the dispatch engine and not yet completed.").With(),
 		instrs: reg.Counter("gptpu_instructions_total",
 			"Edge TPU instructions dispatched, by instruction kind.", "op"),
 		instrVLat: reg.Histogram("gptpu_instruction_vlatency_vseconds",
@@ -68,6 +73,13 @@ func newRuntimeMetrics(reg *telemetry.Registry) *runtimeMetrics {
 		dispatchWall: reg.Histogram("gptpu_dispatch_wall_seconds",
 			"Real wall seconds the host spends dispatching one IQ batch.",
 			wallBuckets).With(),
+		queueWait: reg.Histogram("gptpu_dispatch_queue_wait_seconds",
+			"Real wall seconds an instruction waits in the IQ from enqueue to issue.",
+			wallBuckets).With(),
+		workerBusy: reg.Counter("gptpu_dispatch_worker_busy_seconds_total",
+			"Real wall seconds each dispatch-worker slot spent charging and executing instructions.", "worker"),
+		workerItems: reg.Counter("gptpu_dispatch_worker_items_total",
+			"Instructions processed by each dispatch-worker slot.", "worker"),
 		quantCacheHits: reg.Counter("gptpu_quant_cache_hits_total",
 			"Operator invocations that reused a buffer's cached quantization/model.").With(),
 		quantCacheMisses: reg.Counter("gptpu_quant_cache_misses_total",

@@ -33,7 +33,7 @@ func (s *Stream) Conv2D(a *Buffer, kernel *Buffer) *tensor.Matrix {
 	tile := isa.ArithTile
 	haloR, haloC := kernel.Rows()-1, kernel.Cols()-1
 	spans := tensor.TileSpans(a.Rows(), a.Cols(), tile, tile)
-	works := make([]instrWork, 0, len(spans))
+	pl := s.plan(len(spans))
 	// Output requantization: the accumulated stencil value is bounded
 	// by sum|k| * max|input|; the Tensorizer calibrates the divisor
 	// from the actual quantized kernel so results ship back as int8
@@ -97,15 +97,13 @@ func (s *Stream) Conv2D(a *Buffer, kernel *Buffer) *tensor.Matrix {
 				}
 			}
 		}
-		works = append(works, w)
+		pl.add(w)
 	}
-	end, err := c.runInstrs(works)
-	if err != nil {
-		s.fail(err)
+	end, ok := pl.submit().collect()
+	if !ok {
 		return nil
 	}
-	end = c.chargeHost(end, c.params.QuantTime(int64(out.Elems())))
-	s.advance(end)
+	s.finish(end, c.params.QuantTime(int64(out.Elems())))
 	return out
 }
 
@@ -159,7 +157,7 @@ func (s *Stream) Conv2DStrided(a, kernel *Buffer, strideR, strideC int) *tensor.
 	if cap := int(c.params.TPUMemBytes/2) / maxInt(a.Cols()*strideR, 1); cap > 0 && cap < bandOut {
 		bandOut = maxInt(cap, 1)
 	}
-	var works []instrWork
+	pl := s.plan((outRows + bandOut - 1) / bandOut)
 	for o0 := 0; o0 < outRows; o0 += bandOut {
 		oEnd := minInt(o0+bandOut, outRows)
 		r0 := o0 * strideR
@@ -192,14 +190,12 @@ func (s *Stream) Conv2DStrided(a, kernel *Buffer, strideR, strideC int) *tensor.
 				}
 			}
 		}
-		works = append(works, w)
+		pl.add(w)
 	}
-	end, err := c.runInstrs(works)
-	if err != nil {
-		s.fail(err)
+	end, ok := pl.submit().collect()
+	if !ok {
 		return nil
 	}
-	end = c.chargeHost(end, c.params.QuantTime(int64(out.Elems())))
-	s.advance(end)
+	s.finish(end, c.params.QuantTime(int64(out.Elems())))
 	return out
 }

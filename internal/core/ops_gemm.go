@@ -70,7 +70,7 @@ func (s *Stream) MatVec(a *Buffer, x []float32) []float32 {
 	}
 
 	acc := make([]int64, m)
-	works := make([]instrWork, 0, (m+blockRows-1)/blockRows)
+	pl := s.plan((m + blockRows - 1) / blockRows)
 	inCols := tile
 	if n < tile {
 		inCols = n
@@ -127,17 +127,15 @@ func (s *Stream) MatVec(a *Buffer, x []float32) []float32 {
 				}
 			}
 		}
-		works = append(works, w)
+		pl.add(w)
 	}
-	end, err := c.runInstrs(works)
-	if err != nil {
-		s.fail(err)
+	end, ok := pl.submit().collect()
+	if !ok {
 		return nil
 	}
 	// CPU aggregation of per-column-tile partial vectors plus final
 	// dequantization.
-	end = c.chargeHost(end, c.params.AggTime(int64(m)*int64(colTiles))+c.params.QuantTime(int64(m)))
-	s.advance(end)
+	s.finish(end, c.params.AggTime(int64(m)*int64(colTiles))+c.params.QuantTime(int64(m)))
 
 	out := make([]float32, m)
 	if c.opts.Functional {
@@ -181,7 +179,7 @@ func (s *Stream) MatMulFC(a, b *Buffer) *tensor.Matrix {
 	colTiles := (n + tile - 1) / tile
 
 	out := allocResult(c, m, k)
-	works := make([]instrWork, 0, rowTiles*k)
+	pl := s.plan(rowTiles * k)
 	for j := 0; j < k; j++ {
 		for rt := 0; rt < rowTiles; rt++ {
 			r0 := rt * tile
@@ -231,16 +229,14 @@ func (s *Stream) MatMulFC(a, b *Buffer) *tensor.Matrix {
 					}
 				}
 			}
-			works = append(works, w)
+			pl.add(w)
 		}
 	}
-	end, err := c.runInstrs(works)
-	if err != nil {
-		s.fail(err)
+	end, ok := pl.submit().collect()
+	if !ok {
 		return nil
 	}
-	end = c.chargeHost(end, c.params.AggTime(int64(m)*int64(k)*int64(colTiles))+c.params.QuantTime(int64(m)*int64(k)))
-	s.advance(end)
+	s.finish(end, c.params.AggTime(int64(m)*int64(k)*int64(colTiles))+c.params.QuantTime(int64(m)*int64(k)))
 	return out
 }
 
@@ -286,10 +282,22 @@ func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
 	segLenN := (n + ks - 1) / ks
 
 	out := allocResult(c, m, k)
-	inv := 1 / (float64(pa.Scale) * float64(pb.Scale))
+	// Segment partials accumulate exactly in wide integers ("the CPU
+	// code only needs to add received values", section 6.2.1) — also
+	// what keeps the functional result bit-identical while segment
+	// closures run in parallel: integer addition commutes, so the
+	// nondeterministic closure completion order cannot show.
+	var acc []int64
 	var accMu sync.Mutex
+	if c.opts.Functional {
+		acc = make([]int64, m*k)
+	}
 
-	var lastEnd timing.Duration
+	// Segments pipeline through the IQ: each segment's instructions are
+	// submitted as soon as its derived layouts exist, so the engine
+	// charges and executes segment i while the host still quantizes
+	// segment i+1.
+	pendings := make([]*pending, 0, ks)
 	for seg := 0; seg < ks; seg++ {
 		segStart := seg * segLenN
 		segN := segLenN
@@ -337,7 +345,7 @@ func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
 		chunkRows := clampChunk(minInt(int(half/int64(n2)), parallel), m)
 		chanBatch := clampChunk(int(half/int64(n2)), k)
 
-		var works []instrWork
+		pl := s.plan(((m + chunkRows - 1) / chunkRows) * ((k + chanBatch - 1) / chanBatch))
 		for r0 := 0; r0 < m; r0 += chunkRows {
 			rows := chunkRows
 			if r0+rows > m {
@@ -384,30 +392,45 @@ func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
 						accMu.Lock()
 						for j, och := range outs {
 							for i := 0; i < rows; i++ {
-								out.Set(r0+i, c0+j,
-									out.At(r0+i, c0+j)+float32(float64(och.At(i, 0))*inv))
+								acc[(r0+i)*k+c0+j] += int64(och.At(i, 0))
 							}
 						}
 						accMu.Unlock()
 					}
 				}
-				works = append(works, w)
+				pl.add(w)
 			}
 		}
-		end, err := c.runInstrs(works)
-		if err != nil {
-			s.fail(err)
-			return nil
-		}
-		if end > lastEnd {
+		pendings = append(pendings, pl.submit())
+	}
+	// Collect every segment (even after a failure, so no closure is
+	// left running against the accumulators) and keep the latest
+	// virtual completion.
+	var lastEnd timing.Duration
+	allOK := true
+	for _, pd := range pendings {
+		end, ok := pd.collect()
+		if !ok {
+			allOK = false
+		} else if end > lastEnd {
 			lastEnd = end
 		}
 	}
+	if !allOK {
+		return nil
+	}
 	// CPU aggregation of the wide segment partials plus the final
 	// dequantization pass.
-	lastEnd = c.chargeHost(lastEnd, c.params.AggTime(int64(m)*int64(k)*int64(ks-1))+
+	s.finish(lastEnd, c.params.AggTime(int64(m)*int64(k)*int64(ks-1))+
 		c.params.QuantTime(int64(m)*int64(k)))
-	s.advance(lastEnd)
+	if c.opts.Functional {
+		inv := 1 / (float64(pa.Scale) * float64(pb.Scale))
+		for r := 0; r < m; r++ {
+			for j := 0; j < k; j++ {
+				out.Set(r, j, float32(float64(acc[r*k+j])*inv))
+			}
+		}
+	}
 	return out
 }
 

@@ -98,7 +98,7 @@ func (s *Stream) pairwise(op isa.OpCode, a, b *Buffer) *tensor.Matrix {
 	out := allocResult(c, a.Rows(), a.Cols())
 	tile := isa.TileFor(op)
 	spans := tensor.TileSpans(a.Rows(), a.Cols(), tile, tile)
-	works := make([]instrWork, 0, len(spans))
+	pl := s.plan(len(spans))
 	for i, sp := range spans {
 		sp := sp
 		w := instrWork{
@@ -116,16 +116,14 @@ func (s *Stream) pairwise(op isa.OpCode, a, b *Buffer) *tensor.Matrix {
 		if c.opts.Functional {
 			w.fn = func() { pairwiseTile(op, qa, qb, out, sp, sa, sb, divisor) }
 		}
-		works = append(works, w)
+		pl.add(w)
 	}
-	end, err := c.runInstrs(works)
-	if err != nil {
-		s.fail(err)
+	end, ok := pl.submit().collect()
+	if !ok {
 		return nil
 	}
 	// Host-side dequantization of the downloaded int8 tiles.
-	end = c.chargeHost(end, c.params.QuantTime(int64(out.Elems())))
-	s.advance(end)
+	s.finish(end, c.params.QuantTime(int64(out.Elems())))
 	return out
 }
 
@@ -202,7 +200,7 @@ func (s *Stream) elementwise(op isa.OpCode, a *Buffer) *tensor.Matrix {
 	out := allocResult(c, a.Rows(), a.Cols())
 	tile := isa.TileFor(op)
 	spans := tensor.TileSpans(a.Rows(), a.Cols(), tile, tile)
-	works := make([]instrWork, 0, len(spans))
+	pl := s.plan(len(spans))
 	for i, sp := range spans {
 		sp := sp
 		w := instrWork{
@@ -217,15 +215,13 @@ func (s *Stream) elementwise(op isa.OpCode, a *Buffer) *tensor.Matrix {
 		if c.opts.Functional {
 			w.fn = func() { elementwiseTile(op, qa, out, sp, pa.Scale) }
 		}
-		works = append(works, w)
+		pl.add(w)
 	}
-	end, err := c.runInstrs(works)
-	if err != nil {
-		s.fail(err)
+	end, ok := pl.submit().collect()
+	if !ok {
 		return nil
 	}
-	end = c.chargeHost(end, c.params.QuantTime(int64(out.Elems())))
-	s.advance(end)
+	s.finish(end, c.params.QuantTime(int64(out.Elems())))
 	return out
 }
 
@@ -283,7 +279,7 @@ func (s *Stream) reduce(op isa.OpCode, a *Buffer) float32 {
 	if op == isa.Mean {
 		outBytes = 4 // wide numerator comes back for exact CPU recombination
 	}
-	works := make([]instrWork, 0, len(spans))
+	pl := s.plan(len(spans))
 	for i, sp := range spans {
 		i, sp := i, sp
 		w := instrWork{
@@ -306,11 +302,10 @@ func (s *Stream) reduce(op isa.OpCode, a *Buffer) float32 {
 				}
 			}
 		}
-		works = append(works, w)
+		pl.add(w)
 	}
-	end, err := c.runInstrs(works)
-	if err != nil {
-		s.fail(err)
+	end, ok := pl.submit().collect()
+	if !ok {
 		return 0
 	}
 
@@ -327,25 +322,24 @@ func (s *Stream) reduce(op isa.OpCode, a *Buffer) float32 {
 			}
 			cols := (n + rows - 1) / rows
 			end = c.chargeHost(end, c.params.QuantTime(int64(n))+c.params.TensorizerEncodeTime(int64(n)))
-			round := []instrWork{{
+			rp := s.plan(1)
+			rp.add(instrWork{
 				instr: isa.Instruction{Op: op, InRows: rows, InCols: cols,
 					TaskID: s.taskID, InputKey: c.nextKey(), QuantFlags: c.quantFlagsFor()},
 				inputs:   []inputRef{{key: c.nextKey(), bytes: int64(n)}},
 				outBytes: outBytes,
 				ready:    end,
-			}}
-			end, err = c.runInstrs(round)
-			if err != nil {
-				s.fail(err)
+			})
+			if end, ok = rp.submit().collect(); !ok {
 				return 0
 			}
 			n = (n + rows*cols - 1) / (rows * cols)
 		}
+		s.advance(end)
 	} else {
 		// CPU aggregation of one value per tile.
-		end = c.chargeHost(end, c.params.AggTime(int64(len(spans))))
+		s.finish(end, c.params.AggTime(int64(len(spans))))
 	}
-	s.advance(end)
 
 	if !c.opts.Functional {
 		return 0
@@ -395,16 +389,14 @@ func (s *Stream) Crop(a *Buffer, r0, c0, rows, cols int) *tensor.Matrix {
 			sub := edgetpu.Crop(qa, r0, c0, rows, cols)
 			out = quant.Dequantize(sub, pa)
 		}
-	} else {
-		out = nil
 	}
-	end, err := c.runInstrs([]instrWork{w})
-	if err != nil {
-		s.fail(err)
+	pl := s.plan(1)
+	pl.add(w)
+	end, ok := pl.submit().collect()
+	if !ok {
 		return nil
 	}
-	end = c.chargeHost(end, c.params.QuantTime(int64(rows*cols)))
-	s.advance(end)
+	s.finish(end, c.params.QuantTime(int64(rows*cols)))
 	if !c.opts.Functional {
 		return tensor.ShapeOnly(rows, cols)
 	}
@@ -435,13 +427,13 @@ func (s *Stream) Ext(a *Buffer, rows, cols int) *tensor.Matrix {
 			out = quant.Dequantize(padded, pa)
 		}
 	}
-	end, err := c.runInstrs([]instrWork{w})
-	if err != nil {
-		s.fail(err)
+	pl := s.plan(1)
+	pl.add(w)
+	end, ok := pl.submit().collect()
+	if !ok {
 		return nil
 	}
-	end = c.chargeHost(end, c.params.QuantTime(int64(rows*cols)))
-	s.advance(end)
+	s.finish(end, c.params.QuantTime(int64(rows*cols)))
 	if !c.opts.Functional {
 		return tensor.ShapeOnly(rows, cols)
 	}

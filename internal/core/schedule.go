@@ -3,9 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
-	"time"
 
 	"repro/internal/edgetpu"
 	"repro/internal/isa"
@@ -86,34 +83,6 @@ func (c *Context) pickDevice(w *instrWork, healthy []*edgetpu.Device) *edgetpu.D
 	return best
 }
 
-// dispatchOne charges one instruction's full pipeline — operand
-// uploads (skipped on residency hits), matrix-unit execution, result
-// download — on a chosen device, retrying on other devices if the
-// chosen one fails mid-flight.
-func (c *Context) dispatchOne(w *instrWork) (timing.Duration, error) {
-	c.met.iqDepth.Add(1)
-	defer c.met.iqDepth.Add(-1)
-	for {
-		healthy := c.Pool.Healthy()
-		if len(healthy) == 0 {
-			return 0, ErrNoDevices
-		}
-		d := c.pickDevice(w, healthy)
-		end, err := c.tryOn(d, w)
-		if err == nil {
-			op := w.instr.Op.String()
-			c.met.instrs.With(op).Add(float64(w.n()))
-			c.met.instrVLat.With(op).Observe((end - w.ready).Seconds())
-			return end, nil
-		}
-		if errors.Is(err, edgetpu.ErrDeviceLost) {
-			c.met.lostRetries.Inc()
-			continue // re-pick among remaining healthy devices
-		}
-		return 0, err
-	}
-}
-
 func (c *Context) tryOn(d *edgetpu.Device, w *instrWork) (timing.Duration, error) {
 	sp := timing.Span{Op: w.instr.Op.String(), Task: w.instr.TaskID}
 	at := w.ready
@@ -140,49 +109,6 @@ func (c *Context) tryOn(d *edgetpu.Device, w *instrWork) (timing.Duration, error
 	}
 	c.TL.Observe(at)
 	return at, nil
-}
-
-// runInstrs dispatches a batch of IQ entries, runs their functional
-// closures on the real machine's cores, and returns the virtual time
-// at which the last one completes.
-func (c *Context) runInstrs(works []instrWork) (timing.Duration, error) {
-	wallStart := time.Now()
-	var last timing.Duration
-	for i := range works {
-		end, err := c.dispatchOne(&works[i])
-		if err != nil {
-			return 0, err
-		}
-		if end > last {
-			last = end
-		}
-	}
-	if c.opts.Functional {
-		runClosures(works)
-	}
-	c.met.dispatchWall.Observe(time.Since(wallStart).Seconds())
-	return last, nil
-}
-
-// runClosures executes functional closures concurrently; virtual-time
-// accounting is already complete and deterministic by this point.
-func runClosures(works []instrWork) {
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := range works {
-		fn := works[i].fn
-		if fn == nil {
-			continue
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			fn()
-		}()
-	}
-	wg.Wait()
 }
 
 // chargeHost charges d units of runtime-CPU work ready at the given

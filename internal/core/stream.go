@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/tensor"
 	"repro/internal/timing"
@@ -63,6 +64,67 @@ func (s *Stream) advance(end timing.Duration) {
 		s.now = end
 	}
 	s.c.TL.Observe(s.now)
+}
+
+// plan accumulates the back-end instruction stream one operator
+// invocation emits: the operator's tiling math appends one instrWork
+// per instruction, submit hands the whole run to the dispatch engine.
+// Every operator front-end follows the same three steps — plan
+// (tiling math), submit (IQ dispatch), collect (outcome into the
+// stream) — leaving each operator only its tiling math and its
+// dequantization epilogue.
+type plan struct {
+	s     *Stream
+	works []instrWork
+}
+
+// plan opens an instruction plan sized for about n instructions.
+func (s *Stream) plan(n int) *plan {
+	return &plan{s: s, works: make([]instrWork, 0, n)}
+}
+
+// add appends one instruction to the plan.
+func (p *plan) add(w instrWork) { p.works = append(p.works, w) }
+
+// submit enqueues the planned instructions on the back-end IQ and
+// returns a handle to collect their completion. Submission is
+// asynchronous: the operator goroutine keeps planning (and
+// pre-quantizing) its next batch while the engine charges and
+// executes this one. A plan's instructions enter the charge order as
+// one contiguous run, in plan order.
+func (p *plan) submit() *pending {
+	pd := &pending{s: p.s, start: time.Now()}
+	p.s.c.engine().submit(p.works, &pd.bt)
+	return pd
+}
+
+// pending is an in-flight IQ submission.
+type pending struct {
+	s     *Stream
+	bt    batch
+	start time.Time
+}
+
+// collect waits for every instruction of the submission and returns
+// the virtual completion time of the last one. The batch's dispatch
+// wall time is observed on success and failure alike — a failed batch
+// still cost the host real time. A failed batch marks the stream
+// failed and returns ok=false.
+func (pd *pending) collect() (end timing.Duration, ok bool) {
+	end, err := pd.bt.collect()
+	pd.s.c.met.dispatchWall.Observe(time.Since(pd.start).Seconds())
+	if err != nil {
+		pd.s.fail(err)
+		return 0, false
+	}
+	return end, true
+}
+
+// finish charges the operator's host-side epilogue (CPU aggregation,
+// dequantization) after the collected batch and advances the stream
+// clock past it.
+func (s *Stream) finish(end, epilogue timing.Duration) {
+	s.advance(s.c.chargeHost(end, epilogue))
 }
 
 // mix produces a derived input identity for tile idx of base input

@@ -76,6 +76,18 @@ func (d *Device) Fail() {
 	d.mu.Unlock()
 }
 
+// ResetState clears the device's on-chip memory: residency entries
+// and occupancy go back to the cold state a Context.Reset implies.
+// Failure status and cumulative statistics survive — a lost device
+// stays lost across resets, and counters are monotonic by contract.
+func (d *Device) ResetState() {
+	d.mu.Lock()
+	d.memUsed = 0
+	d.resident = make(map[uint64]*list.Element)
+	d.lru = list.New()
+	d.mu.Unlock()
+}
+
 // Healthy reports whether the device is usable.
 func (d *Device) Healthy() bool {
 	d.mu.Lock()

@@ -109,7 +109,17 @@ type Context struct {
 
 // Init opens the GPTPU runtime over the given number of Edge TPUs.
 func Init(devices int) *Context {
-	return &Context{ctx: gptpu.Open(gptpu.Config{Devices: devices}), tasks: map[int]*gptpu.Task{}}
+	return InitWorkers(devices, 0)
+}
+
+// InitWorkers is Init with an explicit dispatch-engine worker count
+// (0 = one per host core). Worker count only changes real wall-clock
+// dispatch speed, never simulated results.
+func InitWorkers(devices, workers int) *Context {
+	return &Context{
+		ctx:   gptpu.Open(gptpu.Config{Devices: devices, DispatchWorkers: workers}),
+		tasks: map[int]*gptpu.Task{},
+	}
 }
 
 // Context returns the underlying gptpu context, through which ported
