@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race ci bench bench-json clean
+.PHONY: all build test vet race ci bench bench-json bench-serve-json serve-smoke clean
 
 all: build
 
@@ -18,7 +18,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet race
+ci: vet race serve-smoke
+
+# serve-smoke builds the gptpu-serve daemon, boots it on an ephemeral
+# port, round-trips a client GEMM, and asserts a clean drain on
+# SIGTERM — the serving layer's end-to-end liveness gate.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve-smoke.sh
 
 bench:
 	$(GO) run ./cmd/gptpu-bench
@@ -28,6 +34,12 @@ bench:
 # utilization) as JSON, starting the repo's perf trajectory.
 bench-json:
 	$(GO) run ./cmd/gptpu-bench -exp dispatch -format json > BENCH_PR2.json
+
+# bench-serve-json captures the serving-layer characterization
+# (micro-batched vs request-per-submit throughput under concurrent
+# clients) as JSON.
+bench-serve-json:
+	$(GO) run ./cmd/gptpu-bench -exp serve -format json > BENCH_PR3.json
 
 clean:
 	$(GO) clean ./...

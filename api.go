@@ -255,8 +255,14 @@ func (x *Context) Energy() energy.Report { return x.c.Energy() }
 // dispatch engine first; do not race it against still-enqueued tasks.
 func (x *Context) Reset() { x.c.Reset() }
 
+// ErrClosed is the sticky error operators report when their work
+// reaches the runtime after Close.
+var ErrClosed = core.ErrClosed
+
 // Close retires the dispatch engine's worker goroutines. Optional —
 // an idle context holds no goroutines — but gives tools a
-// deterministic teardown point. Sync first; operators after Close
-// panic.
+// deterministic teardown point. Close is idempotent and safe to call
+// concurrently with in-flight work: already-submitted instructions
+// finish before it returns, and operators that submit afterwards fail
+// with ErrClosed.
 func (x *Context) Close() { x.c.Close() }

@@ -1,0 +1,132 @@
+// Command gptpu-serve is the GPTPU serving daemon: it shares one
+// simulated multi-TPU runtime context across any number of network
+// clients, speaking the internal/server wire protocol.
+//
+// Usage:
+//
+//	gptpu-serve                          # serve on :8477, 1 device
+//	gptpu-serve -addr :0 -devices 8      # ephemeral port, 8 TPUs
+//	gptpu-serve -metrics :9090           # mount the HTTP metrics exporter
+//	gptpu-serve -check 127.0.0.1:8477    # client mode: GEMM round trip
+//
+// The daemon prints one "listening on <addr>" line once the socket is
+// bound (scripts parse it to discover ephemeral ports) and drains
+// gracefully on SIGINT/SIGTERM: in-flight requests finish, new ones
+// are refused with a shutting-down reply, then the runtime retires.
+//
+// -check connects as a client, round-trips a small GEMM, verifies the
+// result against a CPU reference, and exits 0/1 — the probe
+// `make serve-smoke` (and any external health checker) uses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+func main() {
+	addr := flag.String("addr", ":8477", "TCP listen address (use :0 for an ephemeral port)")
+	devices := flag.Int("devices", 1, "simulated Edge TPUs behind the daemon (1-8)")
+	workers := flag.Int("workers", 0, "IQ dispatch-engine worker goroutines (0 = one per host core)")
+	maxInFlight := flag.Int("max-inflight", 64, "admission bound: requests beyond this are shed with an overloaded reply")
+	batchWindow := flag.Duration("batch-window", 500*time.Microsecond, "GEMM micro-batch coalescing window (negative disables batching)")
+	batchMax := flag.Int("batch-max", 16, "micro-batch flushes early at this many coalesced requests")
+	metricsAddr := flag.String("metrics", "", "also serve the telemetry HTTP exporter on this address (e.g. :9090)")
+	check := flag.String("check", "", "client mode: round-trip a GEMM against the daemon at this address and exit")
+	flag.Parse()
+
+	if *check != "" {
+		os.Exit(runCheck(*check))
+	}
+
+	reg := telemetry.NewRegistry()
+	srv := server.New(server.Config{
+		Devices:          *devices,
+		DispatchWorkers:  *workers,
+		MaxInFlight:      *maxInFlight,
+		BatchWindow:      *batchWindow,
+		BatchMaxRequests: *batchMax,
+		Metrics:          reg,
+	})
+	if err := srv.Listen(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "gptpu-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gptpu-serve: listening on %s (%d device(s), max-inflight %d, batch-window %v)\n",
+		srv.Addr(), *devices, *maxInFlight, *batchWindow)
+
+	if *metricsAddr != "" {
+		ms, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-serve: metrics:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("gptpu-serve: metrics on http://%s/metrics\n", ms.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	select {
+	case s := <-sig:
+		fmt.Printf("gptpu-serve: %v, draining\n", s)
+		if err := srv.Shutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-serve: drain:", err)
+			os.Exit(1)
+		}
+		if err := <-serveDone; err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Println("gptpu-serve: drained cleanly")
+	case err := <-serveDone:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-serve:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runCheck is the -check client mode: one GEMM round trip verified
+// against the CPU reference.
+func runCheck(addr string) int {
+	c, err := server.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gptpu-serve check:", err)
+		return 1
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		fmt.Fprintln(os.Stderr, "gptpu-serve check: ping:", err)
+		return 1
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.RandUniform(rng, 48, 48, -1, 1)
+	b := tensor.RandUniform(rng, 48, 48, -1, 1)
+	start := time.Now()
+	got, err := c.Gemm(a, b, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gptpu-serve check: gemm:", err)
+		return 1
+	}
+	if e := tensor.RMSE(blas.NaiveGemm(a, b), got); e > 0.05 {
+		fmt.Fprintf(os.Stderr, "gptpu-serve check: gemm RMSE %v exceeds 0.05\n", e)
+		return 1
+	}
+	fmt.Printf("gptpu-serve check: OK (48x48 GEMM round trip in %v)\n",
+		time.Since(start).Round(time.Microsecond))
+	return 0
+}

@@ -240,8 +240,38 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown id must not resolve")
 	}
-	if len(All()) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(All()))
+	if len(All()) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(All()))
+	}
+}
+
+func TestServeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network serving sweep")
+	}
+	rep := Serve(Opts{})
+	un := findRow(t, rep, "unbatched")
+	ba := findRow(t, rep, "batched")
+	if got := cell(t, un[6]); got != 0 {
+		t.Errorf("unbatched run recorded %v batches, want 0", got)
+	}
+	if got := cell(t, ba[6]); got < 2 {
+		t.Errorf("batched run coalesced only %v flushes", got)
+	}
+	// Every request must have ridden a batch (avg-batch > 1 shows real
+	// coalescing, not one-request flushes).
+	if avg := cell(t, ba[7]); avg <= 1 {
+		t.Errorf("batched run averaged %v requests per flush, want > 1", avg)
+	}
+	for _, r := range [][]string{un, ba} {
+		if shed := cell(t, r[8]); shed != 0 {
+			t.Errorf("%s: %v requests shed at bench concurrency, want 0", r[0], shed)
+		}
+	}
+	// Throughput ordering is asserted loosely — hosts vary, but batching
+	// must never halve throughput under a pipelined open load.
+	if sp := cell(t, ba[9]); sp < 0.5 {
+		t.Errorf("batched throughput collapsed: %vx of unbatched", sp)
 	}
 }
 

@@ -133,6 +133,7 @@ func All() []Experiment {
 		{"precision", "GEMM accuracy/latency variants (section 10 extension)", Precision},
 		{"sensitivity", "Calibration-constant sensitivity of the conclusions", Sensitivity},
 		{"dispatch", "IQ dispatch engine: serial vs parallel wall time", Dispatch},
+		{"serve", "Serving layer: micro-batched vs unbatched GEMM throughput", Serve},
 	}
 }
 

@@ -225,8 +225,11 @@ func (c *Context) engine() *engine {
 
 // Close retires the dispatch engine's workers. It is optional — an
 // idle engine holds no goroutines — but gives tools a deterministic
-// teardown point. The context must be quiescent (Sync'd) first;
-// operators invoked after Close panic.
+// teardown point. Close is idempotent and safe to call concurrently,
+// including concurrently with in-flight submits: instructions already
+// queued finish charging before Close returns, and operators whose
+// submissions lose the race fail with ErrClosed instead of panicking
+// the worker pool (what gptpu-serve's shutdown drain relies on).
 func (c *Context) Close() {
 	c.engine().close()
 }

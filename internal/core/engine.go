@@ -16,6 +16,12 @@ import (
 // instructions) from buffering an entire paper-scale sweep in memory.
 const iqCap = 256
 
+// ErrClosed is the sticky error operators report when their
+// instructions reach the dispatch engine after Context.Close. A server
+// draining connections can race late submissions against shutdown;
+// they must fail cleanly, never panic the worker pool.
+var ErrClosed = errors.New("core: context closed")
+
 // batch tracks one submission through the IQ: how many of its
 // instructions are still outstanding, the latest virtual completion
 // time seen, and the first dispatch error.
@@ -124,7 +130,14 @@ func (e *engine) submit(works []instrWork, bt *batch) {
 			e.cond.Wait()
 		}
 		if e.closed {
-			panic("core: submit on closed context")
+			// The engine shut down while this submission was in
+			// flight (or arrived after Close): fail the remaining
+			// instructions instead of enqueueing onto retired workers.
+			e.mu.Unlock()
+			for range works[i:] {
+				bt.complete(0, ErrClosed)
+			}
+			return
 		}
 		e.queue = append(e.queue, iqItem{w: &works[i], b: bt, seq: e.nextSeq, enq: time.Now()})
 		e.nextSeq++
@@ -219,12 +232,15 @@ func (e *engine) drain() {
 	e.mu.Unlock()
 }
 
-// close drains the queue and retires every worker. Submitting after
-// close panics; it exists for deterministic teardown, not lifecycle
+// close drains the queue and retires every worker. It is idempotent
+// and safe to race against in-flight submits: instructions already
+// enqueued finish charging (close waits for them), while submissions
+// that lose the race fail with ErrClosed instead of enqueueing onto
+// retired workers. It exists for deterministic teardown, not lifecycle
 // management (idle engines hold no goroutines anyway).
 func (e *engine) close() {
 	e.mu.Lock()
-	for e.inflight > 0 {
+	for e.inflight > 0 && !e.closed {
 		e.cond.Wait()
 	}
 	e.closed = true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -215,6 +216,50 @@ func TestDispatchWallObservedOnFailure(t *testing.T) {
 	}
 	if got := ctx.met.dispatchWall.Count(); got != before+1 {
 		t.Fatalf("dispatchWall observations = %d, want %d (failure path must observe)", got, before+1)
+	}
+}
+
+func TestCloseIdempotentAndConcurrentWithSubmits(t *testing.T) {
+	// Server shutdown calls Close while client goroutines may still be
+	// submitting operators. Close must be idempotent, callable from
+	// several goroutines at once, and must fail late submissions with
+	// ErrClosed instead of panicking the worker pool.
+	ctx := testCtx(2)
+	rng := rand.New(rand.NewSource(5))
+	a := tensor.RandUniform(rng, 64, 64, -1, 1)
+	b := tensor.RandUniform(rng, 64, 64, -1, 1)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				s := ctx.NewStream()
+				s.Add(ctx.NewBuffer(a), ctx.NewBuffer(b))
+				if err := s.Err(); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("submit racing Close: want nil or ErrClosed, got %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Several concurrent closers, twice over: idempotent and race-free.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx.Close()
+			ctx.Close()
+		}()
+	}
+	wg.Wait()
+
+	// After Close, operators must report ErrClosed, not panic.
+	s := ctx.NewStream()
+	s.Add(ctx.NewBuffer(a), ctx.NewBuffer(b))
+	if !errors.Is(s.Err(), ErrClosed) {
+		t.Fatalf("operator after Close: want ErrClosed, got %v", s.Err())
 	}
 }
 

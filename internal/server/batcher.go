@@ -1,0 +1,222 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	gptpu "repro"
+	"repro/internal/tensor"
+)
+
+// weightCacheCap bounds the batcher's cached weight buffers. Each
+// cached buffer keeps its Tensorizer quantization and — through the
+// scheduler's affinity rule — its on-device residency, so repeated
+// inference against the same weights skips both the host re-quantize
+// and the PCIe re-upload.
+const weightCacheCap = 32
+
+// batchKey identifies a coalescible GEMM class: requests batch only
+// when their inner/output dimensions match and their weight matrix B
+// is byte-identical (hash over the float bits). Stacking the A
+// matrices row-wise then computes every request in one multi-segment
+// tpuGemm submission: [A1; A2; ...] x B = [C1; C2; ...].
+type batchKey struct {
+	n, k  int
+	bhash uint64
+}
+
+// hashMatrix fingerprints a matrix's dimensions and float bits
+// (FNV-1a 64).
+func hashMatrix(m *tensor.Matrix) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(m.Rows)<<32 | uint64(m.Cols))
+	for r := 0; r < m.Rows; r++ {
+		for _, v := range m.Row(r) {
+			put(uint64(math.Float32bits(v)))
+		}
+	}
+	return h.Sum64()
+}
+
+// callResult is a batched call's outcome.
+type callResult struct {
+	m   *tensor.Matrix
+	err error
+}
+
+// gemmCall is one request waiting in a batch group.
+type gemmCall struct {
+	a              *tensor.Matrix
+	arrived        time.Time
+	deadlineMillis uint32
+	done           chan callResult
+}
+
+// batchGroup accumulates compatible calls until the window timer, the
+// request cap, or the stacked-row cap flushes it.
+type batchGroup struct {
+	b     *tensor.Matrix
+	calls []*gemmCall
+	rows  int
+}
+
+// batcher coalesces small GEMM requests into stacked submissions. One
+// flush costs the runtime a single operator invocation — one stacked-A
+// quantization, one derived conv layout, one plan→submit→collect run
+// through the dispatch engine — where the unbatched path pays each of
+// those per request.
+//
+// State machine per batch key: idle → accumulating (first call
+// arrives, window timer armed) → flushing (timer fires, or the call
+// or row cap is hit, whichever first) → idle. Flushes of different
+// keys proceed independently.
+type batcher struct {
+	gx      *gptpu.Context
+	met     *serverMetrics
+	window  time.Duration
+	maxReqs int
+	maxRows int
+
+	mu      sync.Mutex
+	groups  map[batchKey]*batchGroup
+	weights map[batchKey]*gptpu.Buffer
+	worder  []batchKey // FIFO eviction order for the weight cache
+}
+
+func newBatcher(gx *gptpu.Context, met *serverMetrics, window time.Duration, maxReqs, maxRows int) *batcher {
+	if maxReqs <= 0 {
+		maxReqs = 16
+	}
+	if maxRows <= 0 {
+		maxRows = 4096
+	}
+	return &batcher{
+		gx: gx, met: met,
+		window: window, maxReqs: maxReqs, maxRows: maxRows,
+		groups:  make(map[batchKey]*batchGroup),
+		weights: make(map[batchKey]*gptpu.Buffer),
+	}
+}
+
+// submit queues one GEMM call under key. The call's reply arrives on
+// call.done after the group flushes.
+func (b *batcher) submit(key batchKey, weight *tensor.Matrix, call *gemmCall) {
+	b.mu.Lock()
+	g := b.groups[key]
+	if g == nil {
+		g = &batchGroup{b: weight}
+		b.groups[key] = g
+		time.AfterFunc(b.window, func() { b.flushKey(key, g) })
+	}
+	g.calls = append(g.calls, call)
+	g.rows += call.a.Rows
+	full := len(g.calls) >= b.maxReqs || g.rows >= b.maxRows
+	if full {
+		delete(b.groups, key) // the pending timer finds a stale group and no-ops
+	}
+	b.mu.Unlock()
+	if full {
+		go b.flush(key, g)
+	}
+}
+
+// flushKey is the window-timer path: flush g only if it is still the
+// live group for key (a cap-triggered flush may have raced ahead).
+func (b *batcher) flushKey(key batchKey, g *batchGroup) {
+	b.mu.Lock()
+	if b.groups[key] != g {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.groups, key)
+	b.mu.Unlock()
+	b.flush(key, g)
+}
+
+// weightBuffer returns the cached runtime buffer for key, creating
+// and caching it on first use.
+func (b *batcher) weightBuffer(key batchKey, weight *tensor.Matrix) *gptpu.Buffer {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if wb, ok := b.weights[key]; ok {
+		b.met.weightHits.Inc()
+		return wb
+	}
+	if len(b.worder) >= weightCacheCap {
+		delete(b.weights, b.worder[0])
+		b.worder = b.worder[1:]
+	}
+	wb := b.gx.CreateMatrixBuffer(weight)
+	b.weights[key] = wb
+	b.worder = append(b.worder, key)
+	return wb
+}
+
+// flush executes one group: expire stale calls, stack the survivors'
+// A matrices, run one GEMM task, and scatter the row bands back to
+// the waiting calls.
+func (b *batcher) flush(key batchKey, g *batchGroup) {
+	now := time.Now()
+	live := g.calls[:0]
+	for _, c := range g.calls {
+		if expired(c.arrived, c.deadlineMillis, now) {
+			b.met.deadline.Inc()
+			c.done <- callResult{err: ErrDeadlineExceeded}
+			continue
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	rows := 0
+	for _, c := range live {
+		rows += c.a.Rows
+	}
+	stacked := tensor.New(rows, key.n)
+	r0 := 0
+	for _, c := range live {
+		for r := 0; r < c.a.Rows; r++ {
+			copy(stacked.Row(r0+r), c.a.Row(r))
+		}
+		r0 += c.a.Rows
+		b.met.queueWait.Observe(now.Sub(c.arrived).Seconds())
+	}
+
+	wb := b.weightBuffer(key, g.b)
+	ab := b.gx.CreateMatrixBuffer(stacked)
+	var out *tensor.Matrix
+	task := b.gx.Enqueue(func(op *gptpu.Op) { out = op.Gemm(ab, wb) })
+	err := task.Wait()
+	if err == nil && out == nil {
+		err = fmt.Errorf("%w: batched GEMM returned no result", ErrInternal)
+	}
+
+	b.met.batches.Inc()
+	b.met.batchSize.Observe(float64(len(live)))
+	b.met.batchedReqs.Add(float64(len(live)))
+
+	if err != nil {
+		res := callResult{err: fmt.Errorf("%w: %v", ErrInternal, err)}
+		for _, c := range live {
+			c.done <- res
+		}
+		return
+	}
+	r0 = 0
+	for _, c := range live {
+		c.done <- callResult{m: out.View(r0, 0, c.a.Rows, key.k).Clone()}
+		r0 += c.a.Rows
+	}
+}

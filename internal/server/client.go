@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Client is a Go client for the gptpu-serve wire protocol. One client
+// multiplexes any number of concurrent calls over a single TCP
+// connection, matching replies to callers by request ID; all methods
+// are safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	seq  atomic.Uint64
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	pmu     sync.Mutex
+	pending map[uint64]chan reply
+	closed  bool
+	err     error
+}
+
+// reply is one routed response frame (or the connection failure that
+// preempted it).
+type reply struct {
+	f   *Frame
+	err error
+}
+
+// CallOpts tunes one request.
+type CallOpts struct {
+	// Deadline is the end-to-end budget the server enforces before
+	// dispatch (0 = none). It is propagated on the wire, so shed
+	// happens server-side with a typed reply, not by a client timer.
+	Deadline time.Duration
+	// NoBatch opts the request out of server-side GEMM micro-batching
+	// (exact per-request quantization scale at lower throughput).
+	NoBatch bool
+}
+
+// Dial connects to a gptpu-serve daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: make(map[uint64]chan reply),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection; outstanding calls fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.failAll(net.ErrClosed)
+	return err
+}
+
+// readLoop routes response frames to their callers until the
+// connection dies.
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.conn)
+	for {
+		f, err := DecodeFrame(br, 0)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.pmu.Lock()
+		ch := c.pending[f.ReqID]
+		delete(c.pending, f.ReqID)
+		c.pmu.Unlock()
+		if ch != nil {
+			ch <- reply{f: f}
+		}
+	}
+}
+
+// failAll fails every outstanding and future call with err.
+func (c *Client) failAll(err error) {
+	c.pmu.Lock()
+	if !c.closed {
+		c.closed = true
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan reply)
+	c.pmu.Unlock()
+	for _, ch := range pending {
+		ch <- reply{err: err}
+	}
+}
+
+// roundTrip sends one frame and waits for its reply.
+func (c *Client) roundTrip(t MsgType, payload []byte) (*Frame, error) {
+	id := c.seq.Add(1)
+	ch := make(chan reply, 1)
+	c.pmu.Lock()
+	if c.closed {
+		err := c.err
+		c.pmu.Unlock()
+		return nil, fmt.Errorf("server client: connection closed: %w", err)
+	}
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	err := EncodeFrame(c.bw, &Frame{Version: Version, Type: t, ReqID: id, Payload: payload})
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return nil, err
+	}
+
+	r := <-ch
+	if r.err != nil {
+		return nil, fmt.Errorf("server client: connection lost: %w", r.err)
+	}
+	if r.f.Type == MsgError {
+		code, msg, derr := decodeError(r.f.Payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, errFromCode(code, msg)
+	}
+	return r.f, nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	f, err := c.roundTrip(MsgPing, nil)
+	if err != nil {
+		return err
+	}
+	if f.Type != MsgPong {
+		return fmt.Errorf("server client: ping answered with %s", f.Type)
+	}
+	return nil
+}
+
+// Call invokes one remote operator. b must be nil exactly for the
+// unary operators (Mean, Max).
+func (c *Client) Call(op MsgType, a, b *tensor.Matrix, opts *CallOpts) (*tensor.Matrix, error) {
+	if !op.isOp() {
+		return nil, fmt.Errorf("server client: %s is not an operator", op)
+	}
+	if a == nil || (b == nil) != op.unary() {
+		return nil, fmt.Errorf("server client: wrong operand count for %s", op)
+	}
+	req := &OpRequest{Op: op, A: a, B: b}
+	if opts != nil {
+		if opts.Deadline > 0 {
+			millis := opts.Deadline.Milliseconds()
+			if millis < 1 {
+				millis = 1
+			}
+			req.DeadlineMillis = uint32(millis)
+		}
+		if opts.NoBatch {
+			req.Flags |= FlagNoBatch
+		}
+	}
+	f, err := c.roundTrip(op, encodeOpRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != MsgResult {
+		return nil, fmt.Errorf("server client: %s answered with %s", op, f.Type)
+	}
+	m, rest, err := decodeMatrix(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("server client: %d trailing bytes in result", len(rest))
+	}
+	return m, nil
+}
+
+// Gemm computes A x B remotely (tpuGemm).
+func (c *Client) Gemm(a, b *tensor.Matrix, opts *CallOpts) (*tensor.Matrix, error) {
+	return c.Call(MsgGemm, a, b, opts)
+}
+
+// Add computes A + B remotely.
+func (c *Client) Add(a, b *tensor.Matrix, opts *CallOpts) (*tensor.Matrix, error) {
+	return c.Call(MsgAdd, a, b, opts)
+}
+
+// Sub computes A - B remotely.
+func (c *Client) Sub(a, b *tensor.Matrix, opts *CallOpts) (*tensor.Matrix, error) {
+	return c.Call(MsgSub, a, b, opts)
+}
+
+// Mul computes the pair-wise product remotely.
+func (c *Client) Mul(a, b *tensor.Matrix, opts *CallOpts) (*tensor.Matrix, error) {
+	return c.Call(MsgMul, a, b, opts)
+}
+
+// Conv2D convolves input a with kernel k remotely.
+func (c *Client) Conv2D(a, k *tensor.Matrix, opts *CallOpts) (*tensor.Matrix, error) {
+	return c.Call(MsgConv2D, a, k, opts)
+}
+
+// Mean reduces a to its average value remotely.
+func (c *Client) Mean(a *tensor.Matrix, opts *CallOpts) (float32, error) {
+	m, err := c.Call(MsgMean, a, nil, opts)
+	if err != nil {
+		return 0, err
+	}
+	return m.At(0, 0), nil
+}
+
+// Max reduces a to its maximum value remotely.
+func (c *Client) Max(a *tensor.Matrix, opts *CallOpts) (float32, error) {
+	m, err := c.Call(MsgMax, a, nil, opts)
+	if err != nil {
+		return 0, err
+	}
+	return m.At(0, 0), nil
+}

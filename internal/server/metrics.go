@@ -1,0 +1,121 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// latBuckets ladder end-to-end request wall time from 100 µs to 100 s.
+var latBuckets = telemetry.ExpBuckets(1e-4, 10, 7)
+
+// waitBuckets ladder queue/batch wait wall time from 10 µs to 10 s.
+var waitBuckets = telemetry.ExpBuckets(1e-5, 10, 7)
+
+// sizeBuckets ladder micro-batch sizes (requests per flush).
+var sizeBuckets = telemetry.ExpBuckets(1, 2, 8)
+
+// serverMetrics holds the serving layer's telemetry handles. They live
+// in the same registry as the runtime's scheduler and device counters
+// (Server.Metrics), so one -metrics endpoint exports the whole stack.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	connections *telemetry.Gauge   // open client connections
+	inflight    *telemetry.Gauge   // admitted requests being served
+	requests    *telemetry.CounterVec // by op
+	replies     *telemetry.CounterVec // by status (ok / error name)
+	bytesRead   *telemetry.Counter
+	bytesSent   *telemetry.Counter
+	shed        *telemetry.Counter // admission rejections (ErrOverloaded)
+	deadline    *telemetry.Counter // requests expired before dispatch
+	queueWait   *telemetry.Histogram // arrival to dispatch (admission + batch window)
+	e2eLat      *telemetry.HistogramVec // arrival to reply written, by op
+	batches     *telemetry.Counter // micro-batch flushes
+	batchSize   *telemetry.Histogram // requests coalesced per flush
+	batchedReqs *telemetry.Counter // requests served via a batch
+	weightHits  *telemetry.Counter // batcher weight-buffer cache hits
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &serverMetrics{
+		reg: reg,
+		connections: reg.Gauge("gptpu_serve_connections",
+			"Open client connections.").With(),
+		inflight: reg.Gauge("gptpu_serve_inflight",
+			"Requests admitted and currently being served.").With(),
+		requests: reg.Counter("gptpu_serve_requests_total",
+			"Operator requests received, by operator.", "op"),
+		replies: reg.Counter("gptpu_serve_replies_total",
+			"Replies written, by status (ok or error class).", "status"),
+		bytesRead: reg.Counter("gptpu_serve_bytes_read_total",
+			"Wire bytes read from clients (frames incl. headers).").With(),
+		bytesSent: reg.Counter("gptpu_serve_bytes_written_total",
+			"Wire bytes written to clients (frames incl. headers).").With(),
+		shed: reg.Counter("gptpu_serve_shed_total",
+			"Requests shed by the admission controller (ErrOverloaded).").With(),
+		deadline: reg.Counter("gptpu_serve_deadline_expired_total",
+			"Requests whose client deadline expired before dispatch.").With(),
+		queueWait: reg.Histogram("gptpu_serve_queue_wait_seconds",
+			"Wall seconds from request arrival to runtime dispatch (admission + batch window).",
+			waitBuckets).With(),
+		e2eLat: reg.Histogram("gptpu_serve_request_seconds",
+			"Wall seconds from request arrival to reply written, by operator.",
+			latBuckets, "op"),
+		batches: reg.Counter("gptpu_serve_batches_total",
+			"Micro-batch flushes submitted to the runtime.").With(),
+		batchSize: reg.Histogram("gptpu_serve_batch_size",
+			"Requests coalesced per micro-batch flush.", sizeBuckets).With(),
+		batchedReqs: reg.Counter("gptpu_serve_batched_requests_total",
+			"GEMM requests served through a micro-batch.").With(),
+		weightHits: reg.Counter("gptpu_serve_weight_cache_hits_total",
+			"Micro-batch flushes that reused a cached weight buffer (skipping re-quantization).").With(),
+	}
+}
+
+// admission is the bounded-in-flight controller: a semaphore that
+// sheds immediately when full. "Shed with a typed reply" beats
+// "queue unboundedly and hang" for a service — the client can retry
+// against another replica or back off (the Figure 4 OPQ keeps its
+// own backpressure below this layer).
+type admission struct {
+	slots chan struct{}
+	met   *serverMetrics
+}
+
+func newAdmission(maxInFlight int, met *serverMetrics) *admission {
+	if maxInFlight <= 0 {
+		maxInFlight = 64
+	}
+	return &admission{slots: make(chan struct{}, maxInFlight), met: met}
+}
+
+// tryAcquire claims an in-flight slot, or reports ErrOverloaded
+// without blocking.
+func (a *admission) tryAcquire() error {
+	select {
+	case a.slots <- struct{}{}:
+		a.met.inflight.Add(1)
+		return nil
+	default:
+		a.met.shed.Inc()
+		return ErrOverloaded
+	}
+}
+
+// release returns a slot.
+func (a *admission) release() {
+	<-a.slots
+	a.met.inflight.Add(-1)
+}
+
+// expired reports whether a request's client deadline has passed.
+func expired(arrived time.Time, deadlineMillis uint32, now time.Time) bool {
+	if deadlineMillis == 0 {
+		return false
+	}
+	return now.After(arrived.Add(time.Duration(deadlineMillis) * time.Millisecond))
+}

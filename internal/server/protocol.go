@@ -1,0 +1,376 @@
+// Package server is the GPTPU network serving layer: a stdlib-only
+// TCP daemon (cmd/gptpu-serve) that exposes the OpenCtpu operator set
+// — GEMM, conv2D, the pair-wise operators, mean/max — over a small
+// length-prefixed binary wire protocol, multiplexing many concurrent
+// client connections onto one shared runtime context.
+//
+// The paper's OpenCtpu front-end (section 5) is modeled on
+// accelerator-as-a-service host APIs; this package supplies the
+// service half the single-process CLI lacks. Three mechanisms carry
+// the serving semantics:
+//
+//   - Admission control: in-flight requests are bounded; requests
+//     beyond the bound are shed immediately with a typed overloaded
+//     reply instead of queueing unboundedly (no hangs). Clients may
+//     attach a deadline, which the server honors before dispatch.
+//
+//   - Micro-batching: compatible small GEMM requests (same inner
+//     dimensions, byte-identical weight matrix) arriving within a
+//     short window coalesce into one stacked multi-segment submission
+//     to the dispatch engine, so serving throughput beats
+//     one-request-per-submit.
+//
+//   - Graceful shutdown: SIGTERM stops accepting work, drains
+//     in-flight requests, then retires the runtime via Context.Close.
+//
+// Every stage is instrumented through internal/telemetry; the daemon
+// mounts the existing HTTP metrics exporter.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Wire format. Every message is one frame:
+//
+//	offset  size  field
+//	0       4     frame length n (big-endian; bytes after this field)
+//	4       2     magic 0x4754 ("GT")
+//	6       1     protocol version (1)
+//	7       1     message type
+//	8       8     request ID (echoed verbatim in the reply)
+//	16      n-12  payload
+//
+// Request payloads (MsgGemm .. MsgMax):
+//
+//	offset  size  field
+//	0       4     deadline in milliseconds (0 = none)
+//	4       1     flags (bit 0: never micro-batch this request)
+//	5       ...   matrix A (rows u32, cols u32, rows*cols f32 bits)
+//	...     ...   matrix B (binary operators only)
+//
+// Result payload: one matrix in the same encoding (scalar results are
+// 1x1). Error payload: u16 code + UTF-8 message.
+const (
+	// Magic is the two-byte frame preamble ("GT").
+	Magic uint16 = 0x4754
+	// Version is the protocol version this build speaks. A frame with
+	// any other version is answered with CodeVersion and the
+	// connection keeps working — versioning is per-frame, so a future
+	// v2 client can downgrade per request.
+	Version byte = 1
+	// headerLen is the fixed post-length header: magic + version +
+	// type + request ID.
+	headerLen = 12
+	// MaxFrameLen bounds one frame's post-length bytes (64 MiB, a
+	// 2896x2896 float32 matrix pair with headroom). DecodeFrame
+	// rejects larger claims before allocating.
+	MaxFrameLen = 64 << 20
+	// MaxDim bounds one matrix dimension; with the frame cap it also
+	// bounds total elements.
+	MaxDim = 1 << 20
+)
+
+// MsgType enumerates frame types.
+type MsgType byte
+
+const (
+	// MsgError is a failure reply: u16 code + message.
+	MsgError MsgType = 0
+	// MsgResult is a success reply carrying one matrix.
+	MsgResult MsgType = 1
+	// MsgPing requests a MsgPong (liveness and version probing).
+	MsgPing MsgType = 2
+	// MsgPong answers MsgPing.
+	MsgPong MsgType = 3
+
+	// Operator requests mirror the Table 2 operator set.
+	MsgGemm   MsgType = 16 // C = A x B (tpuGemm)
+	MsgAdd    MsgType = 17 // C = A + B
+	MsgSub    MsgType = 18 // C = A - B
+	MsgMul    MsgType = 19 // C = A .* B
+	MsgConv2D MsgType = 20 // C = conv2d(A, kernel B)
+	MsgMean   MsgType = 21 // 1x1 mean of A
+	MsgMax    MsgType = 22 // 1x1 max of A
+)
+
+// unary reports whether the operator takes a single input matrix.
+func (t MsgType) unary() bool { return t == MsgMean || t == MsgMax }
+
+// isOp reports whether the type is an operator request.
+func (t MsgType) isOp() bool { return t >= MsgGemm && t <= MsgMax }
+
+// String names the message type for telemetry labels.
+func (t MsgType) String() string {
+	switch t {
+	case MsgError:
+		return "error"
+	case MsgResult:
+		return "result"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	case MsgGemm:
+		return "gemm"
+	case MsgAdd:
+		return "add"
+	case MsgSub:
+		return "sub"
+	case MsgMul:
+		return "mul"
+	case MsgConv2D:
+		return "conv2d"
+	case MsgMean:
+		return "mean"
+	case MsgMax:
+		return "max"
+	}
+	return fmt.Sprintf("type%d", byte(t))
+}
+
+// Request flag bits.
+const (
+	// FlagNoBatch opts one request out of GEMM micro-batching (exact
+	// per-request quantization scale at lower throughput).
+	FlagNoBatch byte = 1 << 0
+)
+
+// Error codes carried by MsgError frames. Each maps to a typed
+// sentinel error on the client so callers can errors.Is against the
+// failure class.
+const (
+	CodeOverloaded   uint16 = 1
+	CodeDeadline     uint16 = 2
+	CodeBadRequest   uint16 = 3
+	CodeInternal     uint16 = 4
+	CodeShuttingDown uint16 = 5
+	CodeVersion      uint16 = 6
+)
+
+// Typed failure classes. ErrOverloaded is the load-shedding reply the
+// admission controller sends instead of letting requests hang.
+var (
+	ErrOverloaded       = errors.New("server: overloaded, request shed")
+	ErrDeadlineExceeded = errors.New("server: request deadline exceeded")
+	ErrBadRequest       = errors.New("server: malformed request")
+	ErrInternal         = errors.New("server: internal error")
+	ErrShuttingDown     = errors.New("server: shutting down")
+	ErrVersionMismatch  = errors.New("server: protocol version mismatch")
+)
+
+// errFromCode converts a wire error code + message into a typed error.
+func errFromCode(code uint16, msg string) error {
+	base := ErrInternal
+	switch code {
+	case CodeOverloaded:
+		base = ErrOverloaded
+	case CodeDeadline:
+		base = ErrDeadlineExceeded
+	case CodeBadRequest:
+		base = ErrBadRequest
+	case CodeShuttingDown:
+		base = ErrShuttingDown
+	case CodeVersion:
+		base = ErrVersionMismatch
+	}
+	if msg == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, msg)
+}
+
+// codeFromErr maps a typed error back to its wire code.
+func codeFromErr(err error) uint16 {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrDeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest
+	case errors.Is(err, ErrShuttingDown):
+		return CodeShuttingDown
+	case errors.Is(err, ErrVersionMismatch):
+		return CodeVersion
+	}
+	return CodeInternal
+}
+
+// Frame is one decoded wire message.
+type Frame struct {
+	Version byte
+	Type    MsgType
+	ReqID   uint64
+	Payload []byte
+}
+
+// EncodeFrame writes f to w in wire format.
+func EncodeFrame(w io.Writer, f *Frame) error {
+	if len(f.Payload) > MaxFrameLen-headerLen {
+		return fmt.Errorf("server: payload %d bytes exceeds frame cap", len(f.Payload))
+	}
+	hdr := make([]byte, 4+headerLen)
+	binary.BigEndian.PutUint32(hdr[0:], uint32(headerLen+len(f.Payload)))
+	binary.BigEndian.PutUint16(hdr[4:], Magic)
+	hdr[6] = f.Version
+	hdr[7] = byte(f.Type)
+	binary.BigEndian.PutUint64(hdr[8:], f.ReqID)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+// DecodeFrame reads one frame from r, rejecting malformed input with
+// an error (never a panic, never an allocation beyond max). A frame
+// whose version differs from Version is returned together with
+// ErrVersionMismatch so the caller can still answer its request ID;
+// every other error leaves the stream unusable.
+func DecodeFrame(r io.Reader, max uint32) (*Frame, error) {
+	if max == 0 || max > MaxFrameLen {
+		max = MaxFrameLen
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < headerLen {
+		return nil, fmt.Errorf("%w: frame length %d below header size", ErrBadRequest, n)
+	}
+	if n > max {
+		return nil, fmt.Errorf("%w: frame length %d exceeds cap %d", ErrBadRequest, n, max)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if got := binary.BigEndian.Uint16(buf[0:]); got != Magic {
+		return nil, fmt.Errorf("%w: bad magic %#04x", ErrBadRequest, got)
+	}
+	f := &Frame{
+		Version: buf[2],
+		Type:    MsgType(buf[3]),
+		ReqID:   binary.BigEndian.Uint64(buf[4:]),
+		Payload: buf[headerLen:],
+	}
+	if f.Version != Version {
+		return f, fmt.Errorf("%w: frame version %d, want %d", ErrVersionMismatch, f.Version, Version)
+	}
+	return f, nil
+}
+
+// appendMatrix appends the wire encoding of m (rows, cols, row-major
+// float32 bits) to dst.
+func appendMatrix(dst []byte, m *tensor.Matrix) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Rows))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Cols))
+	for r := 0; r < m.Rows; r++ {
+		for _, v := range m.Row(r) {
+			dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(v))
+		}
+	}
+	return dst
+}
+
+// decodeMatrix decodes one matrix from buf, returning the matrix and
+// the remaining bytes. Dimension and length claims are validated
+// before any allocation proportional to them.
+func decodeMatrix(buf []byte) (*tensor.Matrix, []byte, error) {
+	if len(buf) < 8 {
+		return nil, nil, fmt.Errorf("%w: truncated matrix header", ErrBadRequest)
+	}
+	rows := binary.BigEndian.Uint32(buf[0:])
+	cols := binary.BigEndian.Uint32(buf[4:])
+	if rows == 0 || cols == 0 || rows > MaxDim || cols > MaxDim {
+		return nil, nil, fmt.Errorf("%w: matrix dimensions %dx%d out of range", ErrBadRequest, rows, cols)
+	}
+	elems := uint64(rows) * uint64(cols)
+	need := elems * 4
+	if uint64(len(buf)-8) < need {
+		return nil, nil, fmt.Errorf("%w: matrix %dx%d needs %d data bytes, frame has %d",
+			ErrBadRequest, rows, cols, need, len(buf)-8)
+	}
+	m := tensor.New(int(rows), int(cols))
+	for i := range m.Data {
+		m.Data[i] = math.Float32frombits(binary.BigEndian.Uint32(buf[8+i*4:]))
+	}
+	return m, buf[8+need:], nil
+}
+
+// OpRequest is one decoded operator request.
+type OpRequest struct {
+	Op MsgType
+	// DeadlineMillis is the client's end-to-end budget (0 = none).
+	DeadlineMillis uint32
+	Flags          byte
+	A, B           *tensor.Matrix // B nil for unary operators
+}
+
+// encodeOpRequest renders an operator request payload.
+func encodeOpRequest(req *OpRequest) []byte {
+	n := 5 + 8 + req.A.Elems()*4
+	if req.B != nil {
+		n += 8 + req.B.Elems()*4
+	}
+	dst := make([]byte, 0, n)
+	dst = binary.BigEndian.AppendUint32(dst, req.DeadlineMillis)
+	dst = append(dst, req.Flags)
+	dst = appendMatrix(dst, req.A)
+	if req.B != nil {
+		dst = appendMatrix(dst, req.B)
+	}
+	return dst
+}
+
+// decodeOpRequest parses an operator request payload for op.
+func decodeOpRequest(op MsgType, payload []byte) (*OpRequest, error) {
+	if !op.isOp() {
+		return nil, fmt.Errorf("%w: type %s is not an operator", ErrBadRequest, op)
+	}
+	if len(payload) < 5 {
+		return nil, fmt.Errorf("%w: truncated request header", ErrBadRequest)
+	}
+	req := &OpRequest{
+		Op:             op,
+		DeadlineMillis: binary.BigEndian.Uint32(payload[0:]),
+		Flags:          payload[4],
+	}
+	rest := payload[5:]
+	var err error
+	if req.A, rest, err = decodeMatrix(rest); err != nil {
+		return nil, err
+	}
+	if !op.unary() {
+		if req.B, rest, err = decodeMatrix(rest); err != nil {
+			return nil, err
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after request", ErrBadRequest, len(rest))
+	}
+	return req, nil
+}
+
+// encodeError renders an error payload.
+func encodeError(code uint16, msg string) []byte {
+	dst := make([]byte, 0, 2+len(msg))
+	dst = binary.BigEndian.AppendUint16(dst, code)
+	return append(dst, msg...)
+}
+
+// decodeError parses an error payload.
+func decodeError(payload []byte) (uint16, string, error) {
+	if len(payload) < 2 {
+		return 0, "", fmt.Errorf("%w: truncated error payload", ErrBadRequest)
+	}
+	return binary.BigEndian.Uint16(payload[0:]), string(payload[2:]), nil
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Frame{Version: Version, Type: MsgResult, ReqID: 0xDEADBEEFCAFE, Payload: []byte{1, 2, 3}}
+	if err := EncodeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.ReqID != in.ReqID || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestOpRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := tensor.RandUniform(rng, 5, 7, -1, 1)
+	b := tensor.RandUniform(rng, 7, 2, -1, 1)
+	for _, tc := range []*OpRequest{
+		{Op: MsgGemm, DeadlineMillis: 250, Flags: FlagNoBatch, A: a, B: b},
+		{Op: MsgMean, A: a},
+	} {
+		got, err := decodeOpRequest(tc.Op, encodeOpRequest(tc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.DeadlineMillis != tc.DeadlineMillis || got.Flags != tc.Flags {
+			t.Fatalf("header mismatch: %+v vs %+v", got, tc)
+		}
+		if !bytes.Equal(matrixBits(got.A), matrixBits(tc.A)) {
+			t.Fatal("matrix A did not round trip")
+		}
+		if (got.B == nil) != (tc.B == nil) {
+			t.Fatal("matrix B presence mismatch")
+		}
+		if tc.B != nil && !bytes.Equal(matrixBits(got.B), matrixBits(tc.B)) {
+			t.Fatal("matrix B did not round trip")
+		}
+	}
+}
+
+func matrixBits(m *tensor.Matrix) []byte { return appendMatrix(nil, m) }
+
+func TestDecodeFrameRejectsMalformed(t *testing.T) {
+	good := func() []byte {
+		var buf bytes.Buffer
+		_ = EncodeFrame(&buf, &Frame{Version: Version, Type: MsgPing, ReqID: 7})
+		return buf.Bytes()
+	}()
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut < len(good); cut++ {
+			if _, err := DecodeFrame(bytes.NewReader(good[:cut]), 0); err == nil {
+				t.Fatalf("truncation at %d decoded", cut)
+			}
+		}
+	})
+	t.Run("oversized-claim", func(t *testing.T) {
+		big := append([]byte(nil), good...)
+		binary.BigEndian.PutUint32(big[0:], MaxFrameLen+1)
+		if _, err := DecodeFrame(bytes.NewReader(big), 0); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("oversized claim: want ErrBadRequest, got %v", err)
+		}
+	})
+	t.Run("undersized-claim", func(t *testing.T) {
+		small := append([]byte(nil), good...)
+		binary.BigEndian.PutUint32(small[0:], headerLen-1)
+		if _, err := DecodeFrame(bytes.NewReader(small), 0); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("undersized claim: want ErrBadRequest, got %v", err)
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[4], bad[5] = 0xFF, 0xFF
+		if _, err := DecodeFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("bad magic: want ErrBadRequest, got %v", err)
+		}
+	})
+	t.Run("wrong-version", func(t *testing.T) {
+		v2 := append([]byte(nil), good...)
+		v2[6] = Version + 1
+		f, err := DecodeFrame(bytes.NewReader(v2), 0)
+		if !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("wrong version: want ErrVersionMismatch, got %v", err)
+		}
+		if f == nil || f.ReqID != 7 {
+			t.Fatal("version mismatch must still surface the request ID for the error reply")
+		}
+	})
+}
+
+func TestDecodeMatrixRejectsOverclaimedDims(t *testing.T) {
+	// A matrix header claiming huge dimensions with no data must be
+	// rejected before allocating rows*cols anything.
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint32(buf[0:], MaxDim)
+	binary.BigEndian.PutUint32(buf[4:], MaxDim)
+	if _, _, err := decodeMatrix(buf); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("overclaimed dims: want ErrBadRequest, got %v", err)
+	}
+}
+
+func TestErrorCodeRoundTrip(t *testing.T) {
+	for _, e := range []error{ErrOverloaded, ErrDeadlineExceeded, ErrBadRequest,
+		ErrInternal, ErrShuttingDown, ErrVersionMismatch} {
+		code := codeFromErr(e)
+		back := errFromCode(code, "ctx")
+		if !errors.Is(back, e) {
+			t.Fatalf("code %d did not round trip to %v (got %v)", code, e, back)
+		}
+	}
+}
+
+func TestDecodeFrameShortRead(t *testing.T) {
+	if _, err := DecodeFrame(io.LimitReader(bytes.NewReader(nil), 0), 0); err == nil {
+		t.Fatal("empty stream decoded")
+	}
+}

@@ -1,0 +1,426 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	gptpu "repro"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// Config configures a serving daemon. The zero value serves on one
+// device with micro-batching enabled.
+type Config struct {
+	// Devices is the simulated Edge TPU count behind the daemon
+	// (0 = 1).
+	Devices int
+	// DispatchWorkers is the IQ dispatch-engine worker count
+	// (0 = one per host core).
+	DispatchWorkers int
+	// MaxInFlight bounds admitted requests; arrivals beyond it are
+	// shed with ErrOverloaded (0 = 64).
+	MaxInFlight int
+	// BatchWindow is how long the first small GEMM of a batch group
+	// waits for company before flushing. Negative disables
+	// micro-batching; 0 selects the 500µs default.
+	BatchWindow time.Duration
+	// BatchMaxRequests flushes a group early once this many requests
+	// coalesced (0 = 16).
+	BatchMaxRequests int
+	// BatchMaxRows flushes a group early once the stacked activation
+	// matrix reaches this many rows (0 = 4096).
+	BatchMaxRows int
+	// BatchMaxElems is the "small GEMM" threshold: requests whose A or
+	// B exceed this many elements bypass the batcher (0 = 65536, a
+	// 256x256 matrix).
+	BatchMaxElems int
+	// MaxFrame bounds one wire frame (0 = MaxFrameLen).
+	MaxFrame uint32
+	// Metrics is the telemetry registry the daemon and its runtime
+	// record into (nil = a fresh registry, exposed via Metrics).
+	Metrics *telemetry.Registry
+}
+
+// Server is the gptpu-serve daemon: one shared runtime context, an
+// admission controller, a GEMM micro-batcher, and a TCP front door.
+type Server struct {
+	cfg Config
+	gx  *gptpu.Context
+	met *serverMetrics
+	adm *admission
+	bat *batcher // nil when batching is disabled
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	reqWG    sync.WaitGroup // in-flight request handlers
+	connWG   sync.WaitGroup // connection read loops
+}
+
+// New builds a daemon over a fresh shared runtime context.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = 500 * time.Microsecond
+	}
+	if cfg.BatchMaxElems <= 0 {
+		cfg.BatchMaxElems = 65536
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	met := newServerMetrics(reg)
+	gx := gptpu.Open(gptpu.Config{
+		Devices:         cfg.Devices,
+		DispatchWorkers: cfg.DispatchWorkers,
+		Metrics:         reg,
+	})
+	s := &Server{
+		cfg:   cfg,
+		gx:    gx,
+		met:   met,
+		adm:   newAdmission(cfg.MaxInFlight, met),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.BatchWindow > 0 {
+		s.bat = newBatcher(gx, met, cfg.BatchWindow, cfg.BatchMaxRequests, cfg.BatchMaxRows)
+	}
+	return s
+}
+
+// Listen binds the daemon's TCP front door (addr like ":8477" or
+// "127.0.0.1:0" for an ephemeral port).
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return nil
+}
+
+// Addr returns the bound listen address (empty before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Metrics returns the registry the daemon and its runtime record
+// into, for the HTTP exporter (telemetry.Serve).
+func (s *Server) Metrics() *telemetry.Registry { return s.met.reg }
+
+// Runtime exposes the shared context (virtual-time and scheduler
+// introspection for benchmarks and tests).
+func (s *Server) Runtime() *gptpu.Context { return s.gx }
+
+// Serve accepts connections until Shutdown closes the listener. A
+// graceful shutdown returns nil.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Shutdown drains the daemon: stop accepting, fail new requests with
+// ErrShuttingDown, wait for in-flight requests (including pending
+// micro-batches) to reply, close connections, then quiesce and retire
+// the shared runtime (Sync + Close — safe even against stragglers,
+// since PR 3 made Close concurrent-safe). Idempotent.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	s.reqWG.Wait()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	err := s.gx.Sync()
+	s.gx.Close()
+	return err
+}
+
+// connWriter serializes whole-frame writes from the per-request
+// goroutines sharing one connection.
+type connWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	met *serverMetrics
+}
+
+// send writes one frame and flushes.
+func (cw *connWriter) send(f *Frame) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if err := EncodeFrame(cw.bw, f); err != nil {
+		return err
+	}
+	if err := cw.bw.Flush(); err != nil {
+		return err
+	}
+	cw.met.bytesSent.Add(float64(4 + headerLen + len(f.Payload)))
+	return nil
+}
+
+// handleConn runs one connection's read loop, spawning a goroutine
+// per operator request so a single connection can keep many requests
+// in flight (the client multiplexes by request ID).
+func (s *Server) handleConn(conn net.Conn) {
+	s.met.connections.Add(1)
+	defer func() {
+		s.met.connections.Add(-1)
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.connWG.Done()
+	}()
+
+	cw := &connWriter{bw: bufio.NewWriter(conn), met: s.met}
+	br := bufio.NewReader(conn)
+	for {
+		f, err := DecodeFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			if errors.Is(err, ErrVersionMismatch) && f != nil {
+				// Per-frame versioning: answer this request, keep the
+				// connection (framing stayed intact).
+				s.reply(cw, f.ReqID, MsgError, encodeError(CodeVersion, err.Error()))
+				continue
+			}
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				// Malformed framing: the stream position is unknown,
+				// so drop the connection after a best-effort error.
+				s.reply(cw, 0, MsgError, encodeError(CodeBadRequest, err.Error()))
+			}
+			return
+		}
+		s.met.bytesRead.Add(float64(4 + headerLen + len(f.Payload)))
+
+		switch {
+		case f.Type == MsgPing:
+			s.reply(cw, f.ReqID, MsgPong, nil)
+		case f.Type.isOp():
+			s.mu.Lock()
+			if s.draining {
+				s.mu.Unlock()
+				s.reply(cw, f.ReqID, MsgError, encodeError(CodeShuttingDown, "draining"))
+				continue
+			}
+			s.reqWG.Add(1)
+			s.mu.Unlock()
+			go s.handleRequest(cw, f)
+		default:
+			s.reply(cw, f.ReqID, MsgError,
+				encodeError(CodeBadRequest, fmt.Sprintf("unexpected frame type %s", f.Type)))
+		}
+	}
+}
+
+// reply writes one frame, ignoring write errors (the read loop
+// notices a dead connection).
+func (s *Server) reply(cw *connWriter, reqID uint64, t MsgType, payload []byte) {
+	_ = cw.send(&Frame{Version: Version, Type: t, ReqID: reqID, Payload: payload})
+}
+
+// handleRequest serves one operator request end to end: decode,
+// validate, admit (or shed), honor the deadline, execute directly or
+// through the micro-batcher, reply.
+func (s *Server) handleRequest(cw *connWriter, f *Frame) {
+	defer s.reqWG.Done()
+	arrived := time.Now()
+	op := f.Type
+	s.met.requests.With(op.String()).Inc()
+
+	req, err := decodeOpRequest(op, f.Payload)
+	if err == nil {
+		err = validateShapes(req)
+	}
+	if err != nil {
+		s.finishReply(cw, f.ReqID, op, arrived, nil, err)
+		return
+	}
+	if err := s.adm.tryAcquire(); err != nil {
+		s.finishReply(cw, f.ReqID, op, arrived, nil, err)
+		return
+	}
+	defer s.adm.release()
+	if expired(arrived, req.DeadlineMillis, time.Now()) {
+		s.met.deadline.Inc()
+		s.finishReply(cw, f.ReqID, op, arrived, nil, ErrDeadlineExceeded)
+		return
+	}
+
+	if s.batchable(req) {
+		key := batchKey{n: req.A.Cols, k: req.B.Cols, bhash: hashMatrix(req.B)}
+		call := &gemmCall{a: req.A, arrived: arrived, deadlineMillis: req.DeadlineMillis,
+			done: make(chan callResult, 1)}
+		s.bat.submit(key, req.B, call)
+		res := <-call.done
+		s.finishReply(cw, f.ReqID, op, arrived, res.m, res.err)
+		return
+	}
+
+	s.met.queueWait.Observe(time.Since(arrived).Seconds())
+	m, err := s.execute(req)
+	s.finishReply(cw, f.ReqID, op, arrived, m, err)
+}
+
+// batchable reports whether a request qualifies for micro-batching:
+// a GEMM small enough to stack, not opted out, batcher enabled.
+func (s *Server) batchable(req *OpRequest) bool {
+	return s.bat != nil && req.Op == MsgGemm && req.Flags&FlagNoBatch == 0 &&
+		req.A.Elems() <= s.cfg.BatchMaxElems && req.B.Elems() <= s.cfg.BatchMaxElems
+}
+
+// finishReply writes the success or error frame and records the
+// reply-class counter and end-to-end latency histogram.
+func (s *Server) finishReply(cw *connWriter, reqID uint64, op MsgType, arrived time.Time, m *tensor.Matrix, err error) {
+	if err != nil {
+		code := codeFromErr(err)
+		s.met.replies.With(errStatus(code)).Inc()
+		s.reply(cw, reqID, MsgError, encodeError(code, err.Error()))
+	} else {
+		s.met.replies.With("ok").Inc()
+		s.reply(cw, reqID, MsgResult, appendMatrix(nil, m))
+	}
+	s.met.e2eLat.With(op.String()).Observe(time.Since(arrived).Seconds())
+}
+
+// errStatus names an error code for the replies-by-status counter.
+func errStatus(code uint16) string {
+	switch code {
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeDeadline:
+		return "deadline"
+	case CodeBadRequest:
+		return "bad_request"
+	case CodeShuttingDown:
+		return "shutting_down"
+	case CodeVersion:
+		return "version"
+	}
+	return "internal"
+}
+
+// validateShapes rejects dimension mismatches up front with a typed
+// bad-request error (the runtime's own checks panic, which Enqueue
+// converts to an opaque internal error — this gives the client a
+// usable message instead).
+func validateShapes(req *OpRequest) error {
+	switch req.Op {
+	case MsgGemm:
+		if req.A.Cols != req.B.Rows {
+			return fmt.Errorf("%w: GEMM inner dimensions %d vs %d", ErrBadRequest, req.A.Cols, req.B.Rows)
+		}
+	case MsgAdd, MsgSub, MsgMul:
+		if req.A.Rows != req.B.Rows || req.A.Cols != req.B.Cols {
+			return fmt.Errorf("%w: elementwise shapes %dx%d vs %dx%d",
+				ErrBadRequest, req.A.Rows, req.A.Cols, req.B.Rows, req.B.Cols)
+		}
+	case MsgConv2D:
+		if req.B.Rows > req.A.Rows || req.B.Cols > req.A.Cols {
+			return fmt.Errorf("%w: conv2D kernel %dx%d larger than input %dx%d",
+				ErrBadRequest, req.B.Rows, req.B.Cols, req.A.Rows, req.A.Cols)
+		}
+	}
+	return nil
+}
+
+// execute runs one unbatched request as its own OPQ task on the
+// shared context. Enqueue's recover converts runtime panics into
+// task errors, so a bad request can never take the daemon down.
+func (s *Server) execute(req *OpRequest) (*tensor.Matrix, error) {
+	var (
+		a   = s.gx.CreateMatrixBuffer(req.A)
+		out *tensor.Matrix
+	)
+	var b *gptpu.Buffer
+	if req.B != nil {
+		b = s.gx.CreateMatrixBuffer(req.B)
+	}
+	task := s.gx.Enqueue(func(op *gptpu.Op) {
+		switch req.Op {
+		case MsgGemm:
+			out = op.Gemm(a, b)
+		case MsgAdd:
+			out = op.Add(a, b)
+		case MsgSub:
+			out = op.Sub(a, b)
+		case MsgMul:
+			out = op.Mul(a, b)
+		case MsgConv2D:
+			out = op.Conv2D(a, b)
+		case MsgMean:
+			out = tensor.FromSlice(1, 1, []float32{op.Mean(a)})
+		case MsgMax:
+			out = tensor.FromSlice(1, 1, []float32{op.Max(a)})
+		}
+	})
+	if err := task.Wait(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInternal, err)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("%w: operator returned no result", ErrInternal)
+	}
+	return out, nil
+}

@@ -1,0 +1,384 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/tensor"
+)
+
+// startServer boots a daemon on an ephemeral port and tears it down
+// with the test.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv := New(cfg)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	t.Cleanup(func() {
+		if err := srv.Shutdown(); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveDone; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv
+}
+
+func dial(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func refAdd(a, b *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// TestConcurrentConnectionsMixedOps is the acceptance workload: 32
+// concurrent client connections each stream a mix of operators
+// against the shared context; every request must receive exactly one
+// correct reply (the per-request ID multiplexing is what rules out
+// lost or duplicated replies — a misrouted frame would surface as a
+// wrong-shaped or wrong-valued result on some other call).
+func TestConcurrentConnectionsMixedOps(t *testing.T) {
+	srv := startServer(t, Config{Devices: 2, MaxInFlight: 256})
+
+	const conns = 32
+	const roundsPerConn = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, conns*roundsPerConn*4)
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(ci)))
+			for r := 0; r < roundsPerConn; r++ {
+				n := 16 + 8*(ci%3)
+				a := tensor.RandUniform(rng, n, n, -1, 1)
+				b := tensor.RandUniform(rng, n, n, -1, 1)
+
+				// Two calls in flight on the same connection at once,
+				// exercising reply multiplexing.
+				var inner sync.WaitGroup
+				inner.Add(2)
+				go func() {
+					defer inner.Done()
+					got, err := c.Gemm(a, b, nil)
+					if err != nil {
+						errs <- fmt.Errorf("conn %d gemm: %w", ci, err)
+						return
+					}
+					if e := tensor.RMSE(blas.NaiveGemm(a, b), got); e > 0.05 {
+						errs <- fmt.Errorf("conn %d gemm RMSE %v", ci, e)
+					}
+				}()
+				go func() {
+					defer inner.Done()
+					got, err := c.Add(a, b, nil)
+					if err != nil {
+						errs <- fmt.Errorf("conn %d add: %w", ci, err)
+						return
+					}
+					if e := tensor.RMSE(refAdd(a, b), got); e > 0.05 {
+						errs <- fmt.Errorf("conn %d add RMSE %v", ci, e)
+					}
+				}()
+				inner.Wait()
+
+				mean, err := c.Mean(a, nil)
+				if err != nil {
+					errs <- fmt.Errorf("conn %d mean: %w", ci, err)
+					continue
+				}
+				var want float64
+				for _, v := range a.Data {
+					want += float64(v)
+				}
+				want /= float64(len(a.Data))
+				if d := float64(mean) - want; d > 0.05 || d < -0.05 {
+					errs <- fmt.Errorf("conn %d mean %v, want %v", ci, mean, want)
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The daemon notices closed connections asynchronously; the gauge
+	// must settle back to zero shortly after.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.met.connections.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("connection gauge %v after all clients closed, want 0", srv.met.connections.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOverloadShedsTyped floods a capacity-1 daemon: overflow
+// requests must come back as ErrOverloaded immediately (no hangs) and
+// at least one request must be served.
+func TestOverloadShedsTyped(t *testing.T) {
+	srv := startServer(t, Config{Devices: 1, MaxInFlight: 1, BatchWindow: -1})
+	c := dial(t, srv)
+
+	rng := rand.New(rand.NewSource(9))
+	a := tensor.RandUniform(rng, 192, 192, -1, 1)
+	b := tensor.RandUniform(rng, 192, 192, -1, 1)
+
+	const calls = 12
+	var ok, shed int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Gemm(a, b, &CallOpts{NoBatch: true})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, ErrOverloaded):
+				shed++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Error("no request was served")
+	}
+	if shed == 0 {
+		t.Error("no request was shed despite capacity 1")
+	}
+	if got := srv.met.shed.Value(); got != float64(shed) {
+		t.Errorf("shed counter %v, want %d", got, shed)
+	}
+}
+
+// TestDeadlinePropagates sends a request whose deadline expires while
+// it waits in the micro-batch window: the reply must be the typed
+// deadline error, and no result may be fabricated.
+func TestDeadlinePropagates(t *testing.T) {
+	srv := startServer(t, Config{Devices: 1, BatchWindow: 200 * time.Millisecond})
+	c := dial(t, srv)
+
+	rng := rand.New(rand.NewSource(4))
+	a := tensor.RandUniform(rng, 8, 8, -1, 1)
+	b := tensor.RandUniform(rng, 8, 8, -1, 1)
+	_, err := c.Gemm(a, b, &CallOpts{Deadline: 20 * time.Millisecond})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+	if srv.met.deadline.Value() == 0 {
+		t.Error("deadline-expired counter did not move")
+	}
+}
+
+// TestBatcherCoalesces drives concurrent small GEMMs sharing one
+// weight matrix into a wide batch window: they must flush as one
+// stacked submission and every caller must still get its own correct
+// row band.
+func TestBatcherCoalesces(t *testing.T) {
+	const callers = 4
+	srv := startServer(t, Config{
+		Devices:          1,
+		BatchWindow:      100 * time.Millisecond,
+		BatchMaxRequests: callers,
+	})
+	c := dial(t, srv)
+
+	rng := rand.New(rand.NewSource(11))
+	weights := tensor.RandUniform(rng, 24, 24, -1, 1)
+	as := make([]*tensor.Matrix, callers)
+	for i := range as {
+		as[i] = tensor.RandUniform(rng, 6+2*i, 24, -1, 1)
+	}
+
+	var wg sync.WaitGroup
+	outs := make([]*tensor.Matrix, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = c.Gemm(as[i], weights, nil)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if outs[i].Rows != as[i].Rows || outs[i].Cols != weights.Cols {
+			t.Fatalf("caller %d got %dx%d, want %dx%d",
+				i, outs[i].Rows, outs[i].Cols, as[i].Rows, weights.Cols)
+		}
+		if e := tensor.RMSE(blas.NaiveGemm(as[i], weights), outs[i]); e > 0.05 {
+			t.Errorf("caller %d RMSE %v", i, e)
+		}
+	}
+	if got := srv.met.batches.Value(); got != 1 {
+		t.Errorf("batches flushed = %v, want 1 (callers must coalesce)", got)
+	}
+	if got := srv.met.batchedReqs.Value(); got != callers {
+		t.Errorf("batched requests = %v, want %d", got, callers)
+	}
+
+	// A second round against the same weights must hit the cached
+	// weight buffer (skipping its re-quantization).
+	if _, err := c.Gemm(as[0], weights, nil); err != nil {
+		t.Fatal(err)
+	}
+	if srv.met.weightHits.Value() == 0 {
+		t.Error("weight cache did not hit on repeated weights")
+	}
+}
+
+// TestShutdownDrainsInflight starts a slow request, then shuts down
+// mid-flight: the request must complete with its real result and
+// Shutdown must wait for it.
+func TestShutdownDrainsInflight(t *testing.T) {
+	srv := New(Config{Devices: 1, BatchWindow: -1})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(2))
+	a := tensor.RandUniform(rng, 256, 256, -1, 1)
+	b := tensor.RandUniform(rng, 256, 256, -1, 1)
+
+	type res struct {
+		m   *tensor.Matrix
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		m, err := c.Gemm(a, b, &CallOpts{NoBatch: true})
+		done <- res{m, err}
+	}()
+	// Wait until the daemon has actually admitted the request before
+	// pulling the plug (the wire transfer itself takes a while under
+	// the race detector).
+	for deadline := time.Now().Add(10 * time.Second); srv.met.requests.With("gemm").Value() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the daemon")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal("Shutdown:", err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", r.err)
+	}
+	if e := tensor.RMSE(blas.NaiveGemm(a, b), r.m); e > 0.05 {
+		t.Fatalf("drained request returned wrong result (RMSE %v)", e)
+	}
+	// Idempotent second shutdown.
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal("second Shutdown:", err)
+	}
+	// The connection is gone; a new call fails fast instead of hanging.
+	if _, err := c.Gemm(a, b, nil); err == nil {
+		t.Fatal("call after shutdown succeeded")
+	}
+}
+
+// TestVersionMismatchAnswered sends a frame with a future protocol
+// version: the daemon must answer that request ID with CodeVersion
+// and keep the connection serviceable.
+func TestVersionMismatchAnswered(t *testing.T) {
+	srv := startServer(t, Config{Devices: 1})
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var raw bytes.Buffer
+	if err := EncodeFrame(&raw, &Frame{Version: Version + 1, Type: MsgPing, ReqID: 77}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(raw.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	f, err := DecodeFrame(br, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != MsgError || f.ReqID != 77 {
+		t.Fatalf("want MsgError for req 77, got type %s req %d", f.Type, f.ReqID)
+	}
+	code, _, err := decodeError(f.Payload)
+	if err != nil || code != CodeVersion {
+		t.Fatalf("want CodeVersion, got code %d err %v", code, err)
+	}
+
+	// Same connection still serves current-version frames.
+	raw.Reset()
+	_ = EncodeFrame(&raw, &Frame{Version: Version, Type: MsgPing, ReqID: 78})
+	if _, err := conn.Write(raw.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	f, err = DecodeFrame(br, 0)
+	if err != nil || f.Type != MsgPong || f.ReqID != 78 {
+		t.Fatalf("connection unusable after version error: %v %+v", err, f)
+	}
+}
+
+// TestBadShapeTyped verifies shape mismatches come back as
+// ErrBadRequest without disturbing the daemon.
+func TestBadShapeTyped(t *testing.T) {
+	srv := startServer(t, Config{Devices: 1})
+	c := dial(t, srv)
+	a := tensor.New(4, 5)
+	b := tensor.New(4, 5) // inner dims 5 vs 4: invalid for GEMM
+	if _, err := c.Gemm(a, b, nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("want ErrBadRequest, got %v", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal("daemon unhealthy after bad request:", err)
+	}
+}

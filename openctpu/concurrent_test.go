@@ -1,0 +1,123 @@
+package openctpu
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	gptpu "repro"
+	"repro/internal/blas"
+	"repro/internal/tensor"
+)
+
+// TestConcurrentSharedContext drives one shared Context from many
+// goroutines at once — the usage pattern the serving daemon relies on
+// — mixing buffer creation, Enqueue/Wait pairs across operators, and
+// concurrent Sync calls. Every result is checked against the CPU
+// reference; run under -race this doubles as the thread-safety proof
+// for the transliterated API surface.
+func TestConcurrentSharedContext(t *testing.T) {
+	const (
+		goroutines = 12
+		rounds     = 6
+		n          = 32
+	)
+	ctx := Init(4)
+	defer ctx.Context().Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for r := 0; r < rounds; r++ {
+				am := tensor.RandUniform(rng, n, n, -2, 2)
+				bm := tensor.RandUniform(rng, n, n, -2, 2)
+				d := AllocDimension(2, n, n)
+				a := ctx.CreateBuffer(d, am.Data)
+				b := ctx.CreateBuffer(d, bm.Data)
+				out := NewOutput(d)
+
+				op := Gemm
+				if r%2 == 1 {
+					op = Add
+				}
+				id := ctx.Enqueue(func(iv *Invoker, args ...*Buffer) {
+					if err := iv.InvokeOperator(op, SCALE, args[0], args[1], args[2]); err != nil {
+						t.Error(err)
+					}
+				}, a, b, out)
+				if err := ctx.Wait(id); err != nil {
+					t.Errorf("goroutine %d round %d: %v", seed, r, err)
+					return
+				}
+
+				var ref *tensor.Matrix
+				if op == Gemm {
+					ref = blas.NaiveGemm(am, bm)
+				} else {
+					ref = tensor.New(n, n)
+					for i := range ref.Data {
+						ref.Data[i] = am.Data[i] + bm.Data[i]
+					}
+				}
+				if e := tensor.RMSE(ref, out.Matrix()); e > 0.05 {
+					t.Errorf("goroutine %d round %d: RMSE %v", seed, r, e)
+				}
+				// Interleave Sync from a few goroutines mid-stream; it
+				// must be safe alongside everyone else's Enqueue/Wait.
+				if seed%4 == 0 && r == rounds/2 {
+					if err := ctx.Sync(); err != nil {
+						t.Errorf("goroutine %d: Sync: %v", seed, err)
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if err := ctx.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentUseAcrossClose races kernel submission against
+// Context.Close: in-flight work either completes or reports ErrClosed,
+// and nothing panics (PR 3's Close-hardening guarantee surfaced
+// through the transliterated API).
+func TestConcurrentUseAcrossClose(t *testing.T) {
+	const n = 16
+	ctx := Init(2)
+	d := AllocDimension(2, n, n)
+	m := tensor.New(n, n)
+	m.Fill(1)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for r := 0; r < 10; r++ {
+				a := ctx.CreateBuffer(d, m.Data)
+				b := ctx.CreateBuffer(d, m.Data)
+				id := ctx.Enqueue(func(iv *Invoker, args ...*Buffer) {
+					_ = iv.InvokeOperator(Add, SCALE, args[0], args[1], args[2])
+				}, a, b, NewOutput(d))
+				if err := ctx.Wait(id); err != nil && !errors.Is(err, gptpu.ErrClosed) {
+					t.Errorf("unexpected error across Close: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		ctx.Context().Close()
+	}()
+	close(start)
+	wg.Wait()
+}

@@ -1,0 +1,69 @@
+#!/bin/sh
+# serve-smoke: end-to-end liveness check of the gptpu-serve daemon.
+#
+#   1. build the daemon binary
+#   2. start it on an ephemeral port
+#   3. round-trip a client GEMM (gptpu-serve -check) and verify it
+#   4. SIGTERM the daemon and assert a clean drain (exit 0)
+#
+# Run via `make serve-smoke`; part of `make ci`.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+LOG="$TMP/serve.log"
+PID=""
+
+cleanup() {
+    if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+        kill -KILL "$PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building gptpu-serve"
+$GO build -o "$TMP/gptpu-serve" ./cmd/gptpu-serve
+
+"$TMP/gptpu-serve" -addr 127.0.0.1:0 -devices 2 >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the daemon to announce its ephemeral address.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/^gptpu-serve: listening on \([^ ]*\).*/\1/p' "$LOG" | head -n 1)
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "serve-smoke: daemon died during startup" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+    echo "serve-smoke: daemon never announced its address" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+echo "serve-smoke: daemon up on $ADDR"
+
+"$TMP/gptpu-serve" -check "$ADDR"
+
+echo "serve-smoke: sending SIGTERM"
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "serve-smoke: daemon exited $STATUS after SIGTERM (want 0)" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+if ! grep -q "drained cleanly" "$LOG"; then
+    echo "serve-smoke: daemon did not report a clean drain" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+PID=""
+echo "serve-smoke: PASS (clean drain on SIGTERM)"
