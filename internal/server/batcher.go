@@ -20,12 +20,34 @@ const weightCacheCap = 32
 
 // batchKey identifies a coalescible GEMM class: requests batch only
 // when their inner/output dimensions match and their weight matrix B
-// is byte-identical (hash over the float bits). Stacking the A
-// matrices row-wise then computes every request in one multi-segment
-// tpuGemm submission: [A1; A2; ...] x B = [C1; C2; ...].
+// is byte-identical. The 64-bit FNV-1a hash is only a fast map index —
+// it is not collision-proof (and collisions are adversarially
+// craftable), so every group join and weight-cache hit confirms
+// identity by byte-comparing the actual matrices; a collision falls
+// back to the unbatched path rather than computing against the wrong
+// weights. Stacking the A matrices row-wise then computes every
+// request in one multi-segment tpuGemm submission:
+// [A1; A2; ...] x B = [C1; C2; ...].
 type batchKey struct {
 	n, k  int
 	bhash uint64
+}
+
+// matrixEqual reports byte-identity of two matrices (dimensions and
+// float bit patterns — NaNs compare by bits, not IEEE equality).
+func matrixEqual(a, b *tensor.Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for r := 0; r < a.Rows; r++ {
+		ar, br := a.Row(r), b.Row(r)
+		for i := range ar {
+			if math.Float32bits(ar[i]) != math.Float32bits(br[i]) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // hashMatrix fingerprints a matrix's dimensions and float bits
@@ -68,6 +90,7 @@ type batchGroup struct {
 	b     *tensor.Matrix
 	calls []*gemmCall
 	rows  int
+	timer *time.Timer // window timer; stopped when a cap flush wins
 }
 
 // batcher coalesces small GEMM requests into stacked submissions. One
@@ -89,8 +112,16 @@ type batcher struct {
 
 	mu      sync.Mutex
 	groups  map[batchKey]*batchGroup
-	weights map[batchKey]*gptpu.Buffer
+	weights map[batchKey]cachedWeight
 	worder  []batchKey // FIFO eviction order for the weight cache
+}
+
+// cachedWeight pairs a cached runtime weight buffer with the matrix it
+// was built from, so cache hits can confirm byte-identity (the map key
+// only carries a hash).
+type cachedWeight struct {
+	m   *tensor.Matrix
+	buf *gptpu.Buffer
 }
 
 func newBatcher(gx *gptpu.Context, met *serverMetrics, window time.Duration, maxReqs, maxRows int) *batcher {
@@ -104,30 +135,42 @@ func newBatcher(gx *gptpu.Context, met *serverMetrics, window time.Duration, max
 		gx: gx, met: met,
 		window: window, maxReqs: maxReqs, maxRows: maxRows,
 		groups:  make(map[batchKey]*batchGroup),
-		weights: make(map[batchKey]*gptpu.Buffer),
+		weights: make(map[batchKey]cachedWeight),
 	}
 }
 
-// submit queues one GEMM call under key. The call's reply arrives on
-// call.done after the group flushes.
-func (b *batcher) submit(key batchKey, weight *tensor.Matrix, call *gemmCall) {
+// submit queues one GEMM call under key, reporting whether it joined a
+// group. A false return means the call's weight matrix hash-collides
+// with the live group's weights (same key, different bytes) — the
+// caller must serve it through the unbatched execute path instead, so
+// a crafted collision can never compute another client's GEMM against
+// the wrong matrix. On true, the call's reply arrives on call.done
+// after the group flushes.
+func (b *batcher) submit(key batchKey, weight *tensor.Matrix, call *gemmCall) bool {
 	b.mu.Lock()
 	g := b.groups[key]
 	if g == nil {
 		g = &batchGroup{b: weight}
 		b.groups[key] = g
-		time.AfterFunc(b.window, func() { b.flushKey(key, g) })
+		g.timer = time.AfterFunc(b.window, func() { b.flushKey(key, g) })
+	} else if !matrixEqual(g.b, weight) {
+		b.mu.Unlock()
+		return false
 	}
 	g.calls = append(g.calls, call)
 	g.rows += call.a.Rows
 	full := len(g.calls) >= b.maxReqs || g.rows >= b.maxRows
 	if full {
-		delete(b.groups, key) // the pending timer finds a stale group and no-ops
+		// Retire the group and its window timer; flushKey tolerates a
+		// timer that already fired and lost the race.
+		delete(b.groups, key)
+		g.timer.Stop()
 	}
 	b.mu.Unlock()
 	if full {
 		go b.flush(key, g)
 	}
+	return true
 }
 
 // flushKey is the window-timer path: flush g only if it is still the
@@ -144,20 +187,26 @@ func (b *batcher) flushKey(key batchKey, g *batchGroup) {
 }
 
 // weightBuffer returns the cached runtime buffer for key, creating
-// and caching it on first use.
+// and caching it on first use. A hit is honored only when the cached
+// matrix is byte-identical to weight — a hash-colliding entry would
+// otherwise poison every later flush under this key — so on mismatch
+// the flush gets a fresh buffer and the cache entry is left alone.
 func (b *batcher) weightBuffer(key batchKey, weight *tensor.Matrix) *gptpu.Buffer {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if wb, ok := b.weights[key]; ok {
-		b.met.weightHits.Inc()
-		return wb
+		if matrixEqual(wb.m, weight) {
+			b.met.weightHits.Inc()
+			return wb.buf
+		}
+		return b.gx.CreateMatrixBuffer(weight)
 	}
 	if len(b.worder) >= weightCacheCap {
 		delete(b.weights, b.worder[0])
 		b.worder = b.worder[1:]
 	}
 	wb := b.gx.CreateMatrixBuffer(weight)
-	b.weights[key] = wb
+	b.weights[key] = cachedWeight{m: weight, buf: wb}
 	b.worder = append(b.worder, key)
 	return wb
 }

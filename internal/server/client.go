@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -170,6 +171,12 @@ func (c *Client) Call(op MsgType, a, b *tensor.Matrix, opts *CallOpts) (*tensor.
 			millis := opts.Deadline.Milliseconds()
 			if millis < 1 {
 				millis = 1
+			}
+			// The wire field is u32 milliseconds (~49.7 days); clamp so
+			// a larger deadline saturates instead of wrapping around to
+			// a tiny accidental budget.
+			if millis > math.MaxUint32 {
+				millis = math.MaxUint32
 			}
 			req.DeadlineMillis = uint32(millis)
 		}

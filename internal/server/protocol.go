@@ -75,6 +75,13 @@ const (
 	// MaxDim bounds one matrix dimension; with the frame cap it also
 	// bounds total elements.
 	MaxDim = 1 << 20
+	// MaxResultElems bounds a result matrix's element count so its
+	// reply (8-byte matrix header + 4 bytes/element) always fits one
+	// frame. The frame cap bounds *inputs*, but not what they compute:
+	// an outer-product GEMM (2^20 x 1 times 1 x 2^20) ships ~8 MiB of
+	// operands yet names a 4 TiB result — validateShapes rejects such
+	// requests up front instead of letting them allocate.
+	MaxResultElems = (MaxFrameLen - headerLen - 8) / 4
 )
 
 // MsgType enumerates frame types.

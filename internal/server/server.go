@@ -313,10 +313,14 @@ func (s *Server) handleRequest(cw *connWriter, f *Frame) {
 		key := batchKey{n: req.A.Cols, k: req.B.Cols, bhash: hashMatrix(req.B)}
 		call := &gemmCall{a: req.A, arrived: arrived, deadlineMillis: req.DeadlineMillis,
 			done: make(chan callResult, 1)}
-		s.bat.submit(key, req.B, call)
-		res := <-call.done
-		s.finishReply(cw, f.ReqID, op, arrived, res.m, res.err)
-		return
+		if s.bat.submit(key, req.B, call) {
+			res := <-call.done
+			s.finishReply(cw, f.ReqID, op, arrived, res.m, res.err)
+			return
+		}
+		// The weight matrix hash-collided with a live batch group's:
+		// fall through to the unbatched path rather than batch against
+		// the wrong weights.
 	}
 
 	s.met.queueWait.Observe(time.Since(arrived).Seconds())
@@ -332,8 +336,14 @@ func (s *Server) batchable(req *OpRequest) bool {
 }
 
 // finishReply writes the success or error frame and records the
-// reply-class counter and end-to-end latency histogram.
+// reply-class counter and end-to-end latency histogram. A result that
+// cannot fit one frame (validateShapes should prevent this) degrades
+// to a typed error reply — the request ID is always answered, so the
+// client never blocks on a silently-dropped encode.
 func (s *Server) finishReply(cw *connWriter, reqID uint64, op MsgType, arrived time.Time, m *tensor.Matrix, err error) {
+	if err == nil && m.Elems() > MaxResultElems {
+		err = fmt.Errorf("%w: result %dx%d exceeds reply frame cap", ErrInternal, m.Rows, m.Cols)
+	}
 	if err != nil {
 		code := codeFromErr(err)
 		s.met.replies.With(errStatus(code)).Inc()
@@ -365,12 +375,19 @@ func errStatus(code uint16) string {
 // validateShapes rejects dimension mismatches up front with a typed
 // bad-request error (the runtime's own checks panic, which Enqueue
 // converts to an opaque internal error — this gives the client a
-// usable message instead).
+// usable message instead). It also bounds the *result* size: input
+// frames are capped on the wire, but a GEMM's output is Rows x Cols of
+// different matrices, so small operands can name a result large enough
+// to exhaust daemon memory or overflow the reply frame.
 func validateShapes(req *OpRequest) error {
 	switch req.Op {
 	case MsgGemm:
 		if req.A.Cols != req.B.Rows {
 			return fmt.Errorf("%w: GEMM inner dimensions %d vs %d", ErrBadRequest, req.A.Cols, req.B.Rows)
+		}
+		if res := uint64(req.A.Rows) * uint64(req.B.Cols); res > MaxResultElems {
+			return fmt.Errorf("%w: GEMM result %dx%d (%d elements) exceeds result cap %d",
+				ErrBadRequest, req.A.Rows, req.B.Cols, res, uint64(MaxResultElems))
 		}
 	case MsgAdd, MsgSub, MsgMul:
 		if req.A.Rows != req.B.Rows || req.A.Cols != req.B.Cols {

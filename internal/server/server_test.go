@@ -382,3 +382,96 @@ func TestBadShapeTyped(t *testing.T) {
 		t.Fatal("daemon unhealthy after bad request:", err)
 	}
 }
+
+// TestGemmResultCapRejected sends an outer-product GEMM whose
+// operands are tiny on the wire but whose result (5000x5000, ~95 MiB)
+// exceeds the reply frame cap: the daemon must shed it up front with
+// ErrBadRequest — never allocate the result, never drop the reply and
+// leave the client hanging.
+func TestGemmResultCapRejected(t *testing.T) {
+	srv := startServer(t, Config{Devices: 1})
+	c := dial(t, srv)
+	a := tensor.New(5000, 1)
+	b := tensor.New(1, 5000)
+	if _, err := c.Gemm(a, b, nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("want ErrBadRequest for oversized result, got %v", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal("daemon unhealthy after oversized-result request:", err)
+	}
+}
+
+// TestBatcherHashCollisionSafe forges two weight matrices sharing one
+// batchKey (as an adversarial FNV collision would) and verifies
+// byte-comparison keeps them apart: the collider is refused from the
+// live group, and a later group under the same key is not served from
+// the poisoned weight-buffer cache.
+func TestBatcherHashCollisionSafe(t *testing.T) {
+	srv := startServer(t, Config{Devices: 1, BatchWindow: time.Second, BatchMaxRequests: 2})
+	bat := srv.bat
+
+	rng := rand.New(rand.NewSource(7))
+	const n = 8
+	w1 := tensor.RandUniform(rng, n, n, -1, 1)
+	w2 := tensor.RandUniform(rng, n, n, -1, 1)
+	a := tensor.RandUniform(rng, 2, n, -1, 1)
+	key := batchKey{n: n, k: n, bhash: 0xdecafbad} // forged: same for both weights
+
+	newCall := func() *gemmCall {
+		return &gemmCall{a: a, arrived: time.Now(), done: make(chan callResult, 1)}
+	}
+	c1 := newCall()
+	if !bat.submit(key, w1, c1) {
+		t.Fatal("first submit refused")
+	}
+	if bat.submit(key, w2, newCall()) {
+		t.Fatal("colliding weights joined a live group — would compute against wrong matrix")
+	}
+	c2 := newCall()
+	if !bat.submit(key, w1, c2) { // hits BatchMaxRequests, cap-flushes
+		t.Fatal("same-weight submit refused")
+	}
+	for _, c := range []*gemmCall{c1, c2} {
+		res := <-c.done
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if e := tensor.RMSE(blas.NaiveGemm(a, w1), res.m); e > 0.05 {
+			t.Errorf("w1 band RMSE %v", e)
+		}
+	}
+
+	// w1's buffer is now cached under the forged key. A w2 group
+	// reusing that key must detect the byte mismatch and compute with
+	// fresh weights, not the cached w1.
+	c3, c4 := newCall(), newCall()
+	if !bat.submit(key, w2, c3) || !bat.submit(key, w2, c4) {
+		t.Fatal("w2 group refused after w1 group retired")
+	}
+	for _, c := range []*gemmCall{c3, c4} {
+		res := <-c.done
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if e := tensor.RMSE(blas.NaiveGemm(a, w2), res.m); e > 0.05 {
+			t.Errorf("w2 band RMSE %v (served from poisoned weight cache?)", e)
+		}
+	}
+	if got := srv.met.weightHits.Value(); got != 0 {
+		t.Errorf("weight cache hits = %v, want 0 (colliding entry must not hit)", got)
+	}
+}
+
+// TestHugeDeadlineClamped sends a deadline just past the u32
+// millisecond wire range: it must saturate (~49.7 days), not wrap to
+// ~1 ms and expire inside the batch window.
+func TestHugeDeadlineClamped(t *testing.T) {
+	srv := startServer(t, Config{Devices: 1, BatchWindow: 100 * time.Millisecond})
+	c := dial(t, srv)
+	rng := rand.New(rand.NewSource(3))
+	a := tensor.RandUniform(rng, 8, 8, -1, 1)
+	b := tensor.RandUniform(rng, 8, 8, -1, 1)
+	if _, err := c.Gemm(a, b, &CallOpts{Deadline: (1<<32 + 1) * time.Millisecond}); err != nil {
+		t.Fatalf("huge deadline failed (wrapped instead of clamped?): %v", err)
+	}
+}
