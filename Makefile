@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race ci bench bench-json bench-serve-json serve-smoke clean
+.PHONY: all build test vet race ci bench bench-json bench-serve-json serve-smoke chaos-smoke fuzz-smoke clean
 
 all: build
 
@@ -18,13 +18,29 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet race serve-smoke
+ci: vet race serve-smoke chaos-smoke fuzz-smoke
 
 # serve-smoke builds the gptpu-serve daemon, boots it on an ephemeral
 # port, round-trips a client GEMM, and asserts a clean drain on
 # SIGTERM — the serving layer's end-to-end liveness gate.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve-smoke.sh
+
+# chaos-smoke runs the fault-injection soak under the race detector: 32
+# retrying clients against a daemon whose device pool is killed,
+# revived, degraded and hit with transient faults. Zero hangs, zero
+# lost request IDs, deterministic virtual makespan for a fixed seed.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/server
+
+# fuzz-smoke gives each fuzz target a short budget ('go test -fuzz'
+# accepts exactly one target per invocation, hence one line each):
+# the wire-protocol frame decoder and the model-format decoders.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeFrame' -fuzztime 5s ./internal/server
+	$(GO) test -run '^$$' -fuzz 'FuzzDecode$$' -fuzztime 5s ./internal/model
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeFrom' -fuzztime 5s ./internal/model
+	$(GO) test -run '^$$' -fuzz 'FuzzInstructionPacket' -fuzztime 5s ./internal/edgetpu
 
 bench:
 	$(GO) run ./cmd/gptpu-bench

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/edgetpu"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/quant"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -48,6 +50,19 @@ type Config struct {
 	// Trace enables event recording on the context's timeline so the
 	// run can be exported as a Chrome trace (see internal/trace).
 	Trace bool
+	// Fault is the deterministic fault-injection plan this context's
+	// device pool follows: seeded transient exec faults, device loss
+	// and revival at virtual times, PCIe link degradation. Nil means
+	// no injected faults (unless SetDefaultFault installed a
+	// process-wide plan).
+	Fault *fault.Config
+	// RetryBudget bounds dispatch retries per instruction after
+	// transient faults or device loss (0 = 8); exhaustion fails the
+	// operator with ErrRetryBudget.
+	RetryBudget int
+	// RetryBackoff is the initial virtual backoff before a transient
+	// retry, doubling per attempt (0 = 10µs).
+	RetryBackoff timing.Duration
 }
 
 // Context is an open GPTPU machine: the programming-interface entry
@@ -73,6 +88,9 @@ func Open(cfg Config) *Context {
 	o.DispatchWorkers = cfg.DispatchWorkers
 	o.Params = cfg.Params
 	o.Metrics = cfg.Metrics
+	o.Fault = cfg.Fault
+	o.RetryBudget = cfg.RetryBudget
+	o.RetryBackoff = cfg.RetryBackoff
 	c := core.NewContext(o)
 	if cfg.Trace {
 		c.TL.EnableTrace()
@@ -90,6 +108,12 @@ func SetDefaultMetrics(reg *telemetry.Registry) { core.SetDefaultMetrics(reg) }
 // SetDefaultTrace makes every subsequently-opened context record
 // trace events; TracedTimelines retrieves their timelines for export.
 func SetDefaultTrace(on bool) { core.SetDefaultTrace(on) }
+
+// SetDefaultFault installs a process-wide fault plan for contexts
+// opened with a nil Config.Fault, so tools can inject faults into
+// contexts they do not construct themselves (cmd/gptpu-bench does this
+// for its -fault-* flags). Pass nil to disable.
+func SetDefaultFault(fc *fault.Config) { core.SetDefaultFault(fc) }
 
 // TracedTimelines returns the timelines of every context opened since
 // SetDefaultTrace(true).
@@ -258,6 +282,21 @@ func (x *Context) Reset() { x.c.Reset() }
 // ErrClosed is the sticky error operators report when their work
 // reaches the runtime after Close.
 var ErrClosed = core.ErrClosed
+
+// Typed failure classes of the fault path, re-exported so applications
+// and the serving layer can classify operator errors with errors.Is.
+var (
+	// ErrBadInput rejects operands containing NaN or ±Inf (the
+	// symmetric int8 quantization has no meaningful mapping for them).
+	ErrBadInput = core.ErrBadInput
+	// ErrRetryBudget marks an operator whose instructions exhausted
+	// the dispatch retry budget.
+	ErrRetryBudget = core.ErrRetryBudget
+	// ErrTransient is the underlying injected transient-fault error.
+	ErrTransient = edgetpu.ErrTransient
+	// ErrNoDevices means every Edge TPU in the pool has failed.
+	ErrNoDevices = core.ErrNoDevices
+)
 
 // Close retires the dispatch engine's worker goroutines. Optional —
 // an idle context holds no goroutines — but gives tools a

@@ -25,6 +25,7 @@ import (
 
 	gptpu "repro"
 	"repro/internal/bench"
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -37,7 +38,20 @@ func main() {
 	format := flag.String("format", "text", "output format: text|csv|json")
 	metricsOut := flag.String("metrics", "", "write the sweep-wide telemetry snapshot to this file (Prometheus text; expvar JSON if the name ends in .json)")
 	traceOut := flag.String("trace", "", "write the merged Chrome trace of every context to this file")
+	var ff fault.Flags
+	ff.Register(flag.CommandLine)
 	flag.Parse()
+
+	fc, err := ff.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gptpu-bench:", err)
+		os.Exit(2)
+	}
+	if fc != nil {
+		// Every context the sweep opens inherits the fault plan, same
+		// mechanism as the shared metrics registry below.
+		gptpu.SetDefaultFault(fc)
+	}
 
 	if *list {
 		for _, e := range bench.All() {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/apps/lud"
 	"repro/internal/apps/pagerank"
 	"repro/internal/blas"
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/trace"
@@ -47,13 +48,24 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	traceOut := flag.String("trace", "", "write Chrome trace JSON to this file")
 	metricsOut := flag.String("metrics", "", "write a telemetry snapshot to this file (Prometheus text; expvar JSON if the name ends in .json)")
+	retryBudget := flag.Int("retry-budget", 0, "dispatch retries per instruction under faults (0 = default 8)")
+	var ff fault.Flags
+	ff.Register(flag.CommandLine)
 	flag.Parse()
+
+	fc, err := ff.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gptpu-run:", err)
+		os.Exit(2)
+	}
 
 	ctx := gptpu.Open(gptpu.Config{
 		Devices:         *devices,
 		TimingOnly:      !*functional,
 		DispatchWorkers: *workers,
 		Trace:           *traceOut != "",
+		Fault:           fc,
+		RetryBudget:     *retryBudget,
 	})
 
 	tpuM, cpuM, err := run(*app, ctx, *n, *iters, *seed, *functional)
@@ -71,8 +83,12 @@ func main() {
 	st := ctx.Stats()
 	fmt.Printf("  residency: %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
 		st.ResidencyHits, st.ResidencyMisses, 100*st.HitRate, st.Evictions)
-	fmt.Printf("  scheduler: %d affinity hits / %d FCFS fallbacks, %d device-lost retries\n",
-		st.AffinityHits, st.FCFSFallbacks, st.DeviceLostRetries)
+	fmt.Printf("  scheduler: %d affinity hits / %d FCFS fallbacks / %d rebinds, %d device-lost retries\n",
+		st.AffinityHits, st.FCFSFallbacks, st.AffinityRebinds, st.DeviceLostRetries)
+	if st.TransientRetries > 0 || st.RetryBudgetExhausted > 0 {
+		fmt.Printf("  faults: %d transient retries, %d retry budgets exhausted\n",
+			st.TransientRetries, st.RetryBudgetExhausted)
+	}
 	fmt.Printf("  tensorizer: %d quant-cache hits / %d misses\n",
 		st.QuantCacheHits, st.QuantCacheMisses)
 	fmt.Println("  resource occupancy:")

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/blas"
+	"repro/internal/fault"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -43,10 +44,19 @@ func main() {
 	batchMax := flag.Int("batch-max", 16, "micro-batch flushes early at this many coalesced requests")
 	metricsAddr := flag.String("metrics", "", "also serve the telemetry HTTP exporter on this address (e.g. :9090)")
 	check := flag.String("check", "", "client mode: round-trip a GEMM against the daemon at this address and exit")
+	retryBudget := flag.Int("retry-budget", 0, "runtime dispatch retries per instruction under faults (0 = default 8)")
+	var ff fault.Flags
+	ff.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *check != "" {
 		os.Exit(runCheck(*check))
+	}
+
+	fc, err := ff.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gptpu-serve:", err)
+		os.Exit(2)
 	}
 
 	reg := telemetry.NewRegistry()
@@ -57,6 +67,8 @@ func main() {
 		BatchWindow:      *batchWindow,
 		BatchMaxRequests: *batchMax,
 		Metrics:          reg,
+		Fault:            fc,
+		RetryBudget:      *retryBudget,
 	})
 	if err := srv.Listen(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "gptpu-serve:", err)

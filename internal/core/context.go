@@ -16,6 +16,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +24,7 @@ import (
 
 	"repro/internal/edgetpu"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/quant"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -66,6 +68,19 @@ type Options struct {
 	// Metrics is the telemetry registry the runtime records into
 	// (nil = a fresh private registry, exposed via Context.Metrics).
 	Metrics *telemetry.Registry
+	// Fault is the deterministic fault-injection plan (nil = no
+	// injected faults, unless SetDefaultFault installed a process-wide
+	// plan). Each context seeds its own injector from the plan.
+	Fault *fault.Config
+	// RetryBudget bounds how many times the dispatch engine re-enters
+	// device assignment for one instruction after a transient fault or
+	// mid-flight device loss (0 = 8). Exhaustion fails the instruction
+	// with ErrRetryBudget.
+	RetryBudget int
+	// RetryBackoff is the initial virtual-time backoff charged before
+	// retrying a transient fault; it doubles per consecutive retry
+	// (0 = 10µs).
+	RetryBackoff timing.Duration
 }
 
 // DefaultOptions returns the configuration of the paper's prototype:
@@ -123,6 +138,7 @@ var defaults struct {
 	metrics   *telemetry.Registry
 	trace     bool
 	timelines []*timing.Timeline
+	fault     *fault.Config
 }
 
 // SetDefaultMetrics installs reg as the registry contexts record into
@@ -132,6 +148,15 @@ var defaults struct {
 func SetDefaultMetrics(reg *telemetry.Registry) {
 	defaults.mu.Lock()
 	defaults.metrics = reg
+	defaults.mu.Unlock()
+}
+
+// SetDefaultFault installs a process-wide fault plan for contexts
+// whose Options.Fault is nil (cmd/gptpu-bench reaches its transitively
+// created contexts this way). Pass nil to disable.
+func SetDefaultFault(fc *fault.Config) {
+	defaults.mu.Lock()
+	defaults.fault = fc
 	defaults.mu.Unlock()
 }
 
@@ -165,9 +190,13 @@ func NewContext(opts Options) *Context {
 	}
 	tl := timing.NewTimeline()
 	reg := opts.Metrics
+	fc := opts.Fault
 	defaults.mu.Lock()
 	if reg == nil {
 		reg = defaults.metrics
+	}
+	if fc == nil {
+		fc = defaults.fault
 	}
 	if defaults.trace {
 		tl.EnableTrace()
@@ -180,7 +209,7 @@ func NewContext(opts Options) *Context {
 		params:   params,
 		met:      met,
 		TL:       tl,
-		Pool:     edgetpu.NewPool(tl, params, opts.Devices, met.reg),
+		Pool:     edgetpu.NewPoolInjected(tl, params, opts.Devices, met.reg, fault.New(fc)),
 		Host:     tl.NewResource("cpu-core0"),
 		affinity: make(map[affinityKey]int),
 	}
@@ -237,11 +266,14 @@ func (c *Context) Close() {
 // Reset rewinds virtual time and scheduler state (buffers keep their
 // cached quantization; their residency is forgotten along with the
 // device memories, which restart cold). It first quiesces the
-// dispatch engine — in-flight instructions finish charging before the
-// timeline rewinds — but the caller must not race Reset against
-// streams that are still submitting work.
+// dispatch engine: in-flight instructions finish charging before the
+// timeline rewinds, and submissions racing Reset block at the
+// engine's admission gate until the rewind completes, so no
+// instruction ever charges virtual time across the discontinuity.
 func (c *Context) Reset() {
-	c.engine().drain()
+	e := c.engine()
+	e.drain()
+	defer e.release()
 	c.TL.Reset()
 	for _, d := range c.Pool.Devices {
 		d.ResetState()
@@ -292,9 +324,18 @@ type Stats struct {
 	AffinityHits, FCFSFallbacks int64
 	// QuantCacheHits/Misses count Tensorizer quantization-cache reuse.
 	QuantCacheHits, QuantCacheMisses int64
+	// AffinityRebinds counts affinity entries rebound to a new device
+	// after the bound device left the pool (failed or quarantined).
+	AffinityRebinds int64
 	// DeviceLostRetries counts instructions re-dispatched after a
 	// device failure.
 	DeviceLostRetries int64
+	// TransientRetries counts instructions retried with backoff after
+	// an injected transient execution fault.
+	TransientRetries int64
+	// RetryBudgetExhausted counts instructions failed because their
+	// dispatch retry budget ran out.
+	RetryBudgetExhausted int64
 }
 
 // Stats returns the current scheduler statistics.
@@ -318,9 +359,12 @@ func (c *Context) Stats() Stats {
 	}
 	st.AffinityHits = int64(c.met.affinityHits.Value())
 	st.FCFSFallbacks = int64(c.met.fcfsFallbacks.Value())
+	st.AffinityRebinds = int64(c.met.affinityRebinds.Value())
 	st.QuantCacheHits = int64(c.met.quantCacheHits.Value())
 	st.QuantCacheMisses = int64(c.met.quantCacheMisses.Value())
 	st.DeviceLostRetries = int64(c.met.lostRetries.Value())
+	st.TransientRetries = int64(c.met.transientRetries.Value())
+	st.RetryBudgetExhausted = int64(c.met.retryExhausted.Value())
 	return st
 }
 
@@ -336,6 +380,14 @@ type Buffer struct {
 	M   *tensor.Matrix
 	key uint64
 
+	// invalid rejects the buffer from every operator: set when the
+	// host data contains non-finite values that would defeat the
+	// symmetric quantization (ScaleFor guards the divide-by-zero, but
+	// a NaN/Inf input still cannot produce a meaningful int8 mapping).
+	// A sticky error instead of a panic: the serving daemon creates
+	// buffers from remote bytes outside any Enqueue recover.
+	invalid error
+
 	mu           sync.Mutex
 	quantized    bool
 	qp           quant.Params
@@ -344,14 +396,29 @@ type Buffer struct {
 	derivedForms map[string]*derived
 }
 
+// ErrBadInput is the sticky operator error for host data the runtime
+// cannot quantize (NaN or ±Inf values).
+var ErrBadInput = errors.New("core: non-finite input data")
+
+// checkFinite returns the ErrBadInput for m, or nil when every value
+// is finite (shape-only matrices pass: they carry no values).
+func checkFinite(m *tensor.Matrix) error {
+	if m.AllFinite() {
+		return nil
+	}
+	return fmt.Errorf("%w: %dx%d matrix contains NaN or Inf", ErrBadInput, m.Rows, m.Cols)
+}
+
 // NewBuffer registers host data with the runtime. The data is not
 // copied; the caller must not mutate it while operators are in
-// flight. Use Invalidate after intentional mutation.
+// flight. Use Invalidate after intentional mutation. Data containing
+// NaN or ±Inf yields a poisoned buffer: every operator consuming it
+// fails its stream with ErrBadInput.
 func (c *Context) NewBuffer(m *tensor.Matrix) *Buffer {
 	if m == nil {
 		panic("core: NewBuffer(nil)")
 	}
-	return &Buffer{M: m, key: c.nextKey()}
+	return &Buffer{M: m, key: c.nextKey(), invalid: checkFinite(m)}
 }
 
 // Rows returns the buffer's logical row count.
@@ -370,6 +437,7 @@ func (c *Context) Invalidate(b *Buffer) {
 	b.q = nil
 	b.derivedForms = nil
 	b.key = c.nextKey()
+	b.invalid = checkFinite(b.M)
 	b.mu.Unlock()
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"strconv"
 	"sync"
 	"time"
@@ -21,6 +22,20 @@ const iqCap = 256
 // draining connections can race late submissions against shutdown;
 // they must fail cleanly, never panic the worker pool.
 var ErrClosed = errors.New("core: context closed")
+
+// ErrRetryBudget is the sticky error an instruction reports when its
+// dispatch retries (transient faults, mid-flight device losses) exceed
+// the configured budget. It wraps the last underlying failure.
+var ErrRetryBudget = errors.New("core: dispatch retry budget exhausted")
+
+// defaultRetryBudget bounds retries per instruction when
+// Options.RetryBudget is zero.
+const defaultRetryBudget = 8
+
+// defaultRetryBackoff is the initial virtual backoff before a
+// transient-fault retry when Options.RetryBackoff is zero; it doubles
+// per consecutive retry of the same instruction.
+const defaultRetryBackoff = 10 * time.Microsecond
 
 // batch tracks one submission through the IQ: how many of its
 // instructions are still outstanding, the latest virtual completion
@@ -110,6 +125,7 @@ type engine struct {
 	freeIDs  []int      // retired worker slots, for stable telemetry labels
 	nextID   int
 	closed   bool
+	draining bool // admission gate: submissions block during a Reset drain
 }
 
 func newEngine(c *Context, workers int) *engine {
@@ -126,7 +142,10 @@ func (e *engine) submit(works []instrWork, bt *batch) {
 	bt.wg.Add(len(works))
 	e.mu.Lock()
 	for i := range works {
-		for len(e.queue) >= iqCap && !e.closed {
+		// Admission: blocked by a full queue (backpressure) or by a
+		// Reset drain in progress (no instruction may charge virtual
+		// time across the timeline rewind).
+		for (len(e.queue) >= iqCap || e.draining) && !e.closed {
 			e.cond.Wait()
 		}
 		if e.closed {
@@ -221,14 +240,28 @@ func (e *engine) worker(id int) {
 	}
 }
 
-// drain blocks until the IQ holds no queued or in-flight
-// instructions. Context.Reset quiesces through it before rewinding
-// the timeline, so no worker charges virtual time across the rewind.
+// drain closes the admission gate and blocks until the IQ holds no
+// queued or in-flight instructions. Context.Reset quiesces through it
+// before rewinding the timeline; submissions racing the Reset block at
+// the gate (instead of enqueueing mid-rewind) until release reopens
+// it. Waiting for inflight alone would let a racing submit slip work
+// in between the drain and the rewind, charging virtual time across
+// the discontinuity.
 func (e *engine) drain() {
 	e.mu.Lock()
+	e.draining = true
 	for e.inflight > 0 {
 		e.cond.Wait()
 	}
+	e.mu.Unlock()
+}
+
+// release reopens the admission gate drain closed and wakes blocked
+// submitters.
+func (e *engine) release() {
+	e.mu.Lock()
+	e.draining = false
+	e.cond.Broadcast()
 	e.mu.Unlock()
 }
 
@@ -253,11 +286,26 @@ func (e *engine) close() {
 
 // chargeInstr charges one instruction's full virtual pipeline —
 // operand uploads (skipped on residency hits), matrix-unit execution,
-// result download — on the device pickDevice assigns, re-entering the
-// assignment stage when the chosen device fails mid-flight so the
-// instruction is never lost while a healthy device remains.
+// result download — on the device pickDevice assigns. The assignment
+// stage is re-entered when the chosen device fails mid-flight
+// (immediately, on the remaining pool) or suffers an injected
+// transient fault (after an exponentially growing virtual backoff),
+// bounded by the context's retry budget so a pathological fault plan
+// degrades to a typed error instead of an unbounded spin. The pool's
+// injector ticks first, so time-scheduled kills and revivals fire at
+// deterministic points of the serialized charge order.
 func (c *Context) chargeInstr(w *instrWork) (timing.Duration, error) {
-	for {
+	budget := c.opts.RetryBudget
+	if budget <= 0 {
+		budget = defaultRetryBudget
+	}
+	backoff := c.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	var lastErr error
+	for attempt := 0; attempt <= budget; attempt++ {
+		c.Pool.Tick(c.TL.Makespan())
 		healthy := c.Pool.Healthy()
 		if len(healthy) == 0 {
 			return 0, ErrNoDevices
@@ -270,10 +318,22 @@ func (c *Context) chargeInstr(w *instrWork) (timing.Duration, error) {
 			c.met.instrVLat.With(op).Observe((end - w.ready).Seconds())
 			return end, nil
 		}
-		if errors.Is(err, edgetpu.ErrDeviceLost) {
+		lastErr = err
+		switch {
+		case errors.Is(err, edgetpu.ErrDeviceLost):
+			// Reroute to the remaining pool at once; the lost device's
+			// stale affinity entries rebind on their next use.
 			c.met.lostRetries.Inc()
-			continue // re-enqueue with the remaining healthy devices
+		case errors.Is(err, edgetpu.ErrTransient):
+			// The device is healthy but the execution was lost: hold
+			// the instruction back in virtual time before retrying.
+			c.met.transientRetries.Inc()
+			w.ready += backoff
+			backoff *= 2
+		default:
+			return 0, err
 		}
-		return 0, err
 	}
+	c.met.retryExhausted.Inc()
+	return 0, fmt.Errorf("%w after %d attempts: %w", ErrRetryBudget, budget+1, lastErr)
 }

@@ -45,9 +45,14 @@ type runtimeMetrics struct {
 	tensorizeVSec    *telemetry.Counter
 
 	// Scheduler (section 6.1 policy).
-	affinityHits  *telemetry.Counter
-	fcfsFallbacks *telemetry.Counter
-	lostRetries   *telemetry.Counter
+	affinityHits    *telemetry.Counter
+	fcfsFallbacks   *telemetry.Counter
+	affinityRebinds *telemetry.Counter
+	lostRetries     *telemetry.Counter
+
+	// Failure-path retries in the charge phase.
+	transientRetries *telemetry.Counter
+	retryExhausted   *telemetry.Counter
 }
 
 func newRuntimeMetrics(reg *telemetry.Registry) *runtimeMetrics {
@@ -90,7 +95,13 @@ func newRuntimeMetrics(reg *telemetry.Registry) *runtimeMetrics {
 			"Instructions placed by the section 6.1 locality rule.").With(),
 		fcfsFallbacks: reg.Counter("gptpu_sched_fcfs_total",
 			"Instructions placed first-come-first-serve (no affinity match).").With(),
+		affinityRebinds: reg.Counter("gptpu_sched_affinity_rebinds_total",
+			"Affinity entries rebound to a new device after their bound device left the pool.").With(),
 		lostRetries: reg.Counter("gptpu_device_lost_retries_total",
 			"Instructions re-dispatched after a device failed mid-flight.").With(),
+		transientRetries: reg.Counter("gptpu_fault_transient_retries_total",
+			"Instructions retried (with virtual backoff) after an injected transient fault.").With(),
+		retryExhausted: reg.Counter("gptpu_retry_budget_exhausted_total",
+			"Instructions failed because the dispatch retry budget ran out.").With(),
 	}
 }

@@ -20,6 +20,9 @@ func (s *Stream) Conv2D(a *Buffer, kernel *Buffer) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	if !s.inputs(a, kernel) {
+		return nil
+	}
 	defer s.opTimer("conv2D")()
 	checkShapes("conv2D", kernel.Rows() > 0 && kernel.Cols() > 0 &&
 		kernel.Rows() <= a.Rows() && kernel.Cols() <= a.Cols(),
@@ -116,6 +119,9 @@ func (s *Stream) Conv2D(a *Buffer, kernel *Buffer) *tensor.Matrix {
 // pooling).
 func (s *Stream) Conv2DStrided(a, kernel *Buffer, strideR, strideC int) *tensor.Matrix {
 	if s.err != nil {
+		return nil
+	}
+	if !s.inputs(a, kernel) {
 		return nil
 	}
 	defer s.opTimer("conv2DStrided")()

@@ -23,6 +23,9 @@ func (s *Stream) MatVec(a *Buffer, x []float32) []float32 {
 	if s.err != nil {
 		return nil
 	}
+	if !s.inputs(a) {
+		return nil
+	}
 	defer s.opTimer("matVec")()
 	checkShapes("FullyConnected", len(x) == a.Cols(),
 		"vector length %d != matrix cols %d", len(x), a.Cols())
@@ -165,6 +168,9 @@ func (s *Stream) MatMulFC(a, b *Buffer) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	if !s.inputs(a, b) {
+		return nil
+	}
 	defer s.opTimer("tpuGemmFC")()
 	checkShapes("FullyConnected-GEMM", a.Cols() == b.Rows(),
 		"inner dimensions %d vs %d", a.Cols(), b.Rows())
@@ -256,6 +262,9 @@ func (s *Stream) MatMulFC(a, b *Buffer) *tensor.Matrix {
 // are wider than the device's data paths.
 func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
 	if s.err != nil {
+		return nil
+	}
+	if !s.inputs(a, b) {
 		return nil
 	}
 	defer s.opTimer("tpuGemm")()

@@ -31,6 +31,9 @@ func (s *Stream) pairwise(op isa.OpCode, a, b *Buffer) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	if !s.inputs(a, b) {
+		return nil
+	}
 	defer s.opTimer(op.String())()
 	checkShapes(op.String(), a.Rows() == b.Rows() && a.Cols() == b.Cols(),
 		"shape mismatch %dx%d vs %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
@@ -194,6 +197,9 @@ func (s *Stream) elementwise(op isa.OpCode, a *Buffer) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	if !s.inputs(a) {
+		return nil
+	}
 	defer s.opTimer(op.String())()
 	c := s.c
 	pa, qa, ready := c.ensureQuantized(a, s.now, s.taskID)
@@ -261,6 +267,9 @@ func (s *Stream) MaxReduce(a *Buffer) float32 { return s.reduce(isa.Max, a) }
 // device rounds, the alternative the paper rejects.
 func (s *Stream) reduce(op isa.OpCode, a *Buffer) float32 {
 	if s.err != nil {
+		return 0
+	}
+	if !s.inputs(a) {
 		return 0
 	}
 	defer s.opTimer(op.String())()
@@ -371,6 +380,9 @@ func (s *Stream) Crop(a *Buffer, r0, c0, rows, cols int) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	if !s.inputs(a) {
+		return nil
+	}
 	defer s.opTimer("crop")()
 	checkShapes("crop", r0 >= 0 && c0 >= 0 && rows >= 0 && cols >= 0 && r0+rows <= a.Rows() && c0+cols <= a.Cols(),
 		"window (%d,%d)+%dx%d outside %dx%d", r0, c0, rows, cols, a.Rows(), a.Cols())
@@ -406,6 +418,9 @@ func (s *Stream) Crop(a *Buffer, r0, c0, rows, cols int) *tensor.Matrix {
 // Ext pads the matrix to the target dimensionality (Table 1).
 func (s *Stream) Ext(a *Buffer, rows, cols int) *tensor.Matrix {
 	if s.err != nil {
+		return nil
+	}
+	if !s.inputs(a) {
 		return nil
 	}
 	defer s.opTimer("ext")()

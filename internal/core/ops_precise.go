@@ -24,6 +24,9 @@ func (s *Stream) MatMulPrecise(a, b *Buffer) *tensor.Matrix {
 	if s.err != nil {
 		return nil
 	}
+	if !s.inputs(a, b) {
+		return nil
+	}
 	defer s.opTimer("tpuGemmPrecise")()
 	checkShapes("tpuGemm-precise", a.Cols() == b.Rows(),
 		"inner dimensions %d vs %d", a.Cols(), b.Rows())

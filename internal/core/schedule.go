@@ -56,7 +56,9 @@ func (c *Context) pickDevice(w *instrWork, healthy []*edgetpu.Device) *edgetpu.D
 	// input); keying on small shared operands like an iteration vector
 	// would collapse every instruction onto one device.
 	var k affinityKey
-	if c.opts.LocalityScheduling && len(w.inputs) > 0 {
+	keyed := c.opts.LocalityScheduling && len(w.inputs) > 0
+	rebinding := false
+	if keyed {
 		k = affinityKey{input: w.inputs[0].key, flags: w.instr.QuantFlags, task: w.instr.TaskID}
 		if id, ok := c.affinity[k]; ok {
 			for _, d := range healthy {
@@ -65,9 +67,19 @@ func (c *Context) pickDevice(w *instrWork, healthy []*edgetpu.Device) *edgetpu.D
 					return d
 				}
 			}
+			// The bound device left the pool (failed or quarantined):
+			// this placement rebinds the key to the FCFS pick below.
+			// Counting it as a plain FCFS fallback would hide every
+			// post-failure placement behind the no-affinity metric
+			// forever, so it gets its own counter.
+			rebinding = true
 		}
 	}
-	c.met.fcfsFallbacks.Inc()
+	if rebinding {
+		c.met.affinityRebinds.Inc()
+	} else {
+		c.met.fcfsFallbacks.Inc()
+	}
 	// FCFS: earliest-available compute unit, round-robin on ties.
 	best := healthy[c.rr%len(healthy)]
 	for i := 1; i < len(healthy); i++ {
@@ -77,7 +89,7 @@ func (c *Context) pickDevice(w *instrWork, healthy []*edgetpu.Device) *edgetpu.D
 		}
 	}
 	c.rr++
-	if c.opts.LocalityScheduling && len(w.inputs) > 0 {
+	if keyed {
 		c.affinity[k] = best.ID
 	}
 	return best

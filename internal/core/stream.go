@@ -46,6 +46,26 @@ func (s *Stream) fail(err error) {
 	}
 }
 
+// inputs validates operand buffers at operator entry. A poisoned
+// buffer (non-finite host data, see NewBuffer) fails the stream with
+// its sticky ErrBadInput and reports false, so the operator becomes a
+// no-op instead of quantizing NaN/Inf garbage.
+func (s *Stream) inputs(bufs ...*Buffer) bool {
+	for _, b := range bufs {
+		if b == nil {
+			continue
+		}
+		b.mu.Lock()
+		err := b.invalid
+		b.mu.Unlock()
+		if err != nil {
+			s.fail(err)
+			return false
+		}
+	}
+	return true
+}
+
 // opTimer starts a per-operator virtual-latency observation. Call at
 // operator entry and defer the returned func: it observes how long the
 // invocation occupied the stream's virtual clock.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/pcie"
 	"repro/internal/telemetry"
@@ -18,6 +19,13 @@ import (
 // exercises the multi-TPU scheduler's fault path, which the physical
 // testbed exhibits when a module drops off the PCIe bus.
 var ErrDeviceLost = errors.New("edgetpu: device lost")
+
+// ErrTransient is returned when an instruction execution suffers an
+// injected transient fault: the matrix unit was occupied for the full
+// execution time but the result is lost, so the runtime must retry
+// (with backoff) rather than reroute — the device itself is still
+// healthy.
+var ErrTransient = errors.New("edgetpu: transient execution fault")
 
 // ErrModelTooLarge is returned when a single upload exceeds the 8 MB
 // on-chip memory; the Tensorizer must partition harder.
@@ -40,11 +48,15 @@ type Device struct {
 	// the counters, making every accessor a view over the registry.
 	met *deviceMetrics
 
-	mu       sync.Mutex
-	failed   bool
-	memUsed  int64
-	resident map[uint64]*list.Element // values are *residentEntry
-	lru      *list.List               // front = most recently used
+	// inj is the pool's fault injector (nil = no injected faults).
+	inj *fault.Injector
+
+	mu          sync.Mutex
+	failed      bool
+	quarantined bool // revived but not yet probed back into service
+	memUsed     int64
+	resident    map[uint64]*list.Element // values are *residentEntry
+	lru         *list.List               // front = most recently used
 }
 
 type residentEntry struct {
@@ -70,10 +82,73 @@ func NewDevice(id int, tl *timing.Timeline, ic *pcie.Interconnect, params *timin
 }
 
 // Fail marks the device lost; subsequent calls return ErrDeviceLost.
+// On-chip memory is cleared: a dead device holds nothing, so the
+// residency accessors and gauges must stop reporting its old contents
+// (and a later Revive restarts genuinely cold).
 func (d *Device) Fail() {
 	d.mu.Lock()
 	d.failed = true
+	d.quarantined = false
+	d.clearMemLocked()
 	d.mu.Unlock()
+	d.met.lost.Set(1)
+	d.met.quarantined.Set(0)
+}
+
+// Revive returns a previously-failed device toward service. It does
+// not make the device Healthy directly: the device enters quarantine
+// with cold on-chip memory, and the pool must Probe it (charging the
+// recovery self-test in virtual time) before instructions may land.
+// Reviving a device that never failed is a no-op.
+func (d *Device) Revive() {
+	d.mu.Lock()
+	if !d.failed {
+		d.mu.Unlock()
+		return
+	}
+	d.failed = false
+	d.quarantined = true
+	d.clearMemLocked()
+	d.mu.Unlock()
+	d.met.revives.Inc()
+	d.met.lost.Set(0)
+	d.met.quarantined.Set(1)
+}
+
+// probeCost is the virtual time of the recovery self-test a revived
+// device runs before re-entering service.
+const probeCost = 100 * time.Microsecond
+
+// Probe runs the recovery self-test on a quarantined device: it
+// charges probeCost on the device's compute unit starting at now and
+// promotes the device to Healthy. Probing a non-quarantined device is
+// a no-op.
+func (d *Device) Probe(now timing.Duration) {
+	d.mu.Lock()
+	if !d.quarantined {
+		d.mu.Unlock()
+		return
+	}
+	d.quarantined = false
+	d.mu.Unlock()
+	d.comp.AcquireSpan(now, probeCost, timing.Span{Phase: "probe"})
+	d.met.probes.Inc()
+	d.met.quarantined.Set(0)
+}
+
+// Quarantined reports whether the device is revived but not yet
+// probed back into service.
+func (d *Device) Quarantined() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.quarantined
+}
+
+// clearMemLocked drops all on-chip residency state; d.mu must be held.
+func (d *Device) clearMemLocked() {
+	d.memUsed = 0
+	d.resident = make(map[uint64]*list.Element)
+	d.lru = list.New()
 }
 
 // ResetState clears the device's on-chip memory: residency entries
@@ -82,17 +157,16 @@ func (d *Device) Fail() {
 // stays lost across resets, and counters are monotonic by contract.
 func (d *Device) ResetState() {
 	d.mu.Lock()
-	d.memUsed = 0
-	d.resident = make(map[uint64]*list.Element)
-	d.lru = list.New()
+	d.clearMemLocked()
 	d.mu.Unlock()
 }
 
-// Healthy reports whether the device is usable.
+// Healthy reports whether the device is usable: not failed and not
+// sitting in post-revival quarantine.
 func (d *Device) Healthy() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return !d.failed
+	return !d.failed && !d.quarantined
 }
 
 // Execs returns the number of instructions executed, for scheduler
@@ -148,7 +222,7 @@ func (d *Device) Upload(key uint64, bytes int64, ready timing.Duration) (timing.
 // link occupancy with the operator and task that requested the input.
 func (d *Device) UploadSpan(key uint64, bytes int64, ready timing.Duration, sp timing.Span) (timing.Duration, error) {
 	d.mu.Lock()
-	if d.failed {
+	if d.failed || d.quarantined {
 		d.mu.Unlock()
 		return ready, ErrDeviceLost
 	}
@@ -198,12 +272,22 @@ func (d *Device) ExecN(in *isa.Instruction, n int, ready timing.Duration) (timin
 		return ready, nil
 	}
 	d.mu.Lock()
-	if d.failed {
+	if d.failed || d.quarantined {
 		d.mu.Unlock()
 		return ready, ErrDeviceLost
 	}
 	d.mu.Unlock()
 	dur := time.Duration(n) * d.params.InstrTime(in)
+	if d.inj.ExecTransient() {
+		// Injected transient fault: the matrix unit was occupied for
+		// the full batch but the result is lost. Charging the wasted
+		// time before returning makes the retry queue behind it, the
+		// way a real re-execution would.
+		d.comp.AcquireSpan(ready, dur,
+			timing.Span{Phase: "exec-fault", Op: in.Op.String(), Task: in.TaskID})
+		d.met.transients.Inc()
+		return ready, ErrTransient
+	}
 	_, end := d.comp.AcquireSpan(ready, dur,
 		timing.Span{Phase: "exec", Op: in.Op.String(), Task: in.TaskID})
 	d.met.execs.Add(float64(n))
@@ -220,7 +304,7 @@ func (d *Device) Download(bytes int64, ready timing.Duration) (timing.Duration, 
 // DownloadSpan is Download with task-lifecycle annotation.
 func (d *Device) DownloadSpan(bytes int64, ready timing.Duration, sp timing.Span) (timing.Duration, error) {
 	d.mu.Lock()
-	if d.failed {
+	if d.failed || d.quarantined {
 		d.mu.Unlock()
 		return ready, ErrDeviceLost
 	}
@@ -238,20 +322,51 @@ func (d *Device) DownloadSpan(bytes int64, ready timing.Duration, sp timing.Span
 type Pool struct {
 	Devices []*Device
 	IC      *pcie.Interconnect
+
+	inj *fault.Injector
 }
 
 // NewPool builds n devices on a shared timeline and interconnect,
 // recording device statistics into reg (nil = a private registry).
 func NewPool(tl *timing.Timeline, params *timing.Params, n int, reg *telemetry.Registry) *Pool {
+	return NewPoolInjected(tl, params, n, reg, nil)
+}
+
+// NewPoolInjected is NewPool with a fault injector driving transient
+// exec faults, time-scheduled device loss and revival, and PCIe link
+// degradation (nil = no injected faults).
+func NewPoolInjected(tl *timing.Timeline, params *timing.Params, n int, reg *telemetry.Registry, inj *fault.Injector) *Pool {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	ic := pcie.New(tl, params, n)
-	p := &Pool{IC: ic}
+	ic := pcie.NewInjected(tl, params, n, inj)
+	p := &Pool{IC: ic, inj: inj}
 	for i := 0; i < n; i++ {
-		p.Devices = append(p.Devices, NewDevice(i, tl, ic, params, reg))
+		d := NewDevice(i, tl, ic, params, reg)
+		d.inj = inj
+		p.Devices = append(p.Devices, d)
 	}
 	return p
+}
+
+// Tick applies the injector's time-scheduled events that have come due
+// at virtual time now — permanent kills, revivals — and probes any
+// quarantined device back into service. The dispatch engine calls it
+// at the top of every charge, so events fire at deterministic points
+// of the instruction stream.
+func (p *Pool) Tick(now timing.Duration) {
+	for _, d := range p.Devices {
+		if p.inj.KillDue(d.ID, now) {
+			d.Fail()
+			d.met.kills.Inc()
+		}
+		if p.inj.ReviveDue(d.ID, now) {
+			d.Revive()
+		}
+		if d.Quarantined() {
+			d.Probe(now)
+		}
+	}
 }
 
 // Healthy returns the usable devices.

@@ -20,6 +20,14 @@ type deviceMetrics struct {
 	hits          *telemetry.Counter
 	misses        *telemetry.Counter
 	evictions     *telemetry.Counter
+
+	// Fault-injection and recovery lifecycle.
+	transients  *telemetry.Counter
+	kills       *telemetry.Counter
+	revives     *telemetry.Counter
+	probes      *telemetry.Counter
+	lost        *telemetry.Gauge
+	quarantined *telemetry.Gauge
 }
 
 // newDeviceMetrics registers (or joins) the per-device metric
@@ -45,5 +53,17 @@ func newDeviceMetrics(r *telemetry.Registry, id int) *deviceMetrics {
 			"Uploads that had to cross the interconnect.", "device").With(dev),
 		evictions: r.Counter("gptpu_device_residency_evictions_total",
 			"LRU evictions from the 8 MB on-chip memory.", "device").With(dev),
+		transients: r.Counter("gptpu_fault_transients_total",
+			"Injected transient execution faults per device.", "device").With(dev),
+		kills: r.Counter("gptpu_fault_kills_total",
+			"Injector-scheduled permanent device failures.", "device").With(dev),
+		revives: r.Counter("gptpu_fault_revives_total",
+			"Failed devices returned to quarantine by revival.", "device").With(dev),
+		probes: r.Counter("gptpu_fault_probes_total",
+			"Recovery self-tests that promoted a quarantined device to healthy.", "device").With(dev),
+		lost: r.Gauge("gptpu_device_lost",
+			"1 while the device is permanently failed.", "device").With(dev),
+		quarantined: r.Gauge("gptpu_device_quarantined",
+			"1 while the device is revived but not yet probed back into service.", "device").With(dev),
 	}
 }

@@ -13,7 +13,9 @@ package pcie
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/timing"
 )
 
@@ -29,6 +31,7 @@ const uplinkLanes = 4
 // Interconnect is the host-to-device transfer fabric.
 type Interconnect struct {
 	params  *timing.Params
+	inj     *fault.Injector    // nil = no injected link degradation
 	links   []*timing.Resource // one x1 link per device
 	uplinks []*timing.Resource // one switch uplink per card
 	cardOf  []int
@@ -37,10 +40,16 @@ type Interconnect struct {
 // New builds an interconnect for numDevices Edge TPUs on tl, packing
 // them four per switch card.
 func New(tl *timing.Timeline, params *timing.Params, numDevices int) *Interconnect {
+	return NewInjected(tl, params, numDevices, nil)
+}
+
+// NewInjected is New with a fault injector whose per-device LinkScale
+// multipliers degrade individual links' transfer latency (nil = none).
+func NewInjected(tl *timing.Timeline, params *timing.Params, numDevices int, inj *fault.Injector) *Interconnect {
 	if numDevices <= 0 {
 		panic(fmt.Sprintf("pcie: need at least one device, got %d", numDevices))
 	}
-	ic := &Interconnect{params: params}
+	ic := &Interconnect{params: params, inj: inj}
 	numCards := (numDevices + DevicesPerCard - 1) / DevicesPerCard
 	for c := 0; c < numCards; c++ {
 		ic.uplinks = append(ic.uplinks, tl.NewResource(fmt.Sprintf("pcie-card%d-uplink", c)))
@@ -83,6 +92,12 @@ func (ic *Interconnect) TransferSpan(dev int, bytes int64, ready timing.Duration
 		sp.Bytes = bytes
 	}
 	linkTime := ic.params.TransferTime(bytes)
+	// A degraded link (injected fault) stretches this device's transfer
+	// time; the shared card uplink below still carries the bytes at
+	// nominal speed, so degradation stays local to the sick device.
+	if s := ic.inj.LinkScale(dev); s != 1 {
+		linkTime = time.Duration(float64(linkTime) * s)
+	}
 	start, end := ic.links[dev].AcquireSpan(ready, linkTime, sp)
 	// The switch uplink carries the same bytes with 4x the lane count;
 	// it only becomes the bottleneck when more than four devices'

@@ -19,6 +19,11 @@ func TestScaleFor(t *testing.T) {
 	if ScaleFor(float32(math.NaN())) != 1 {
 		t.Fatal("NaN absmax must fall back to scale 1")
 	}
+	// Regression: +Inf absmax yielded QMax/+Inf = scale 0, and every
+	// later Dequant divided by zero, poisoning results with NaN.
+	if ScaleFor(float32(math.Inf(1))) != 1 {
+		t.Fatal("+Inf absmax must fall back to scale 1")
+	}
 }
 
 func TestSaturateI8(t *testing.T) {

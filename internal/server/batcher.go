@@ -257,7 +257,7 @@ func (b *batcher) flush(key batchKey, g *batchGroup) {
 	b.met.batchedReqs.Add(float64(len(live)))
 
 	if err != nil {
-		res := callResult{err: fmt.Errorf("%w: %v", ErrInternal, err)}
+		res := callResult{err: mapRuntimeErr(err)}
 		for _, c := range live {
 			c.done <- res
 		}

@@ -2,8 +2,10 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -20,6 +22,9 @@ type Client struct {
 	conn net.Conn
 	seq  atomic.Uint64
 
+	retry   RetryPolicy
+	retries atomic.Int64
+
 	wmu sync.Mutex
 	bw  *bufio.Writer
 
@@ -27,6 +32,53 @@ type Client struct {
 	pending map[uint64]chan reply
 	closed  bool
 	err     error
+}
+
+// RetryPolicy governs client-side retries of retryable typed errors
+// (ErrOverloaded sheds, ErrTransient device faults). Each retry backs
+// off exponentially with jitter, the standard defense against
+// synchronized retry storms from many clients shed at once.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt (0 = no
+	// retries: Dial's default, preserving strict shed semantics).
+	Max int
+	// Base is the first backoff (0 = 2ms); it doubles per retry.
+	Base time.Duration
+	// Cap bounds one backoff (0 = 250ms).
+	Cap time.Duration
+	// Jitter is the randomized fraction of each backoff in [0,1]
+	// (0 = 0.5): sleep = backoff*(1-Jitter) + rand*backoff*Jitter.
+	Jitter float64
+}
+
+// backoff returns the nth (0-based) retry's sleep with jitter applied.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	base, cap, jitter := p.Base, p.Cap, p.Jitter
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 250 * time.Millisecond
+	}
+	if jitter <= 0 {
+		jitter = 0.5
+	} else if jitter > 1 {
+		jitter = 1
+	}
+	d := base << n
+	if d > cap || d <= 0 { // <= 0 guards shift overflow
+		d = cap
+	}
+	f := float64(d)
+	return time.Duration(f*(1-jitter) + rand.Float64()*f*jitter)
+}
+
+// Retryable reports whether err is a failure class worth resending an
+// identical request for: a shed (ErrOverloaded) or a device fault the
+// server classified as transient. Connection losses are not retryable
+// through this client — it is dead; redial instead.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrTransient)
 }
 
 // reply is one routed response frame (or the connection failure that
@@ -47,20 +99,33 @@ type CallOpts struct {
 	NoBatch bool
 }
 
-// Dial connects to a gptpu-serve daemon.
+// Dial connects to a gptpu-serve daemon. Calls through the returned
+// client do not retry (shed and transient-fault replies surface
+// directly); use DialRetry for backoff-and-retry semantics.
 func Dial(addr string) (*Client, error) {
+	return DialRetry(addr, RetryPolicy{})
+}
+
+// DialRetry is Dial with a retry policy: calls answered with a
+// retryable typed error (ErrOverloaded, ErrTransient) are resent up to
+// p.Max times with exponential backoff and jitter.
+func DialRetry(addr string, p RetryPolicy) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
 		conn:    conn,
+		retry:   p,
 		bw:      bufio.NewWriter(conn),
 		pending: make(map[uint64]chan reply),
 	}
 	go c.readLoop()
 	return c, nil
 }
+
+// Retries returns how many retry sends this client has performed.
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 // Close tears down the connection; outstanding calls fail.
 func (c *Client) Close() error {
@@ -184,7 +249,17 @@ func (c *Client) Call(op MsgType, a, b *tensor.Matrix, opts *CallOpts) (*tensor.
 			req.Flags |= FlagNoBatch
 		}
 	}
-	f, err := c.roundTrip(op, encodeOpRequest(req))
+	payload := encodeOpRequest(req)
+	var f *Frame
+	var err error
+	for attempt := 0; ; attempt++ {
+		f, err = c.roundTrip(op, payload)
+		if err == nil || attempt >= c.retry.Max || !Retryable(err) {
+			break
+		}
+		c.retries.Add(1)
+		time.Sleep(c.retry.backoff(attempt))
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/binary"
+	"math"
 	"testing"
 
 	"repro/internal/tensor"
@@ -54,6 +55,16 @@ func FuzzDecodeFrame(f *testing.F) {
 	bad := append([]byte(nil), good.Bytes()...)
 	bad[4], bad[5] = 'X', 'X'
 	f.Add(bad)
+
+	// Non-finite payload values: a well-formed frame whose matrices
+	// carry NaN and ±Inf. Decoding must survive; the server's admission
+	// check (not the decoder) is what rejects these.
+	nf := tensor.FromSlice(2, 2, []float32{
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)), 1})
+	var nfb bytes.Buffer
+	_ = EncodeFrame(&nfb, &Frame{Version: Version, Type: MsgAdd, ReqID: 7,
+		Payload: encodeOpRequest(&OpRequest{Op: MsgAdd, A: nf, B: nf})})
+	f.Add(nfb.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// A small cap keeps the fuzzer from legitimately allocating

@@ -159,6 +159,7 @@ const (
 	CodeInternal     uint16 = 4
 	CodeShuttingDown uint16 = 5
 	CodeVersion      uint16 = 6
+	CodeTransient    uint16 = 7
 )
 
 // Typed failure classes. ErrOverloaded is the load-shedding reply the
@@ -170,6 +171,12 @@ var (
 	ErrInternal         = errors.New("server: internal error")
 	ErrShuttingDown     = errors.New("server: shutting down")
 	ErrVersionMismatch  = errors.New("server: protocol version mismatch")
+	// ErrTransient marks a request that failed on an injected or
+	// recoverable device fault (transient exec fault, retry budget
+	// exhausted): the request itself was well-formed and an identical
+	// resubmission may succeed, which is what the client's retry
+	// policy keys on.
+	ErrTransient = errors.New("server: transient device fault, retry")
 )
 
 // errFromCode converts a wire error code + message into a typed error.
@@ -186,6 +193,8 @@ func errFromCode(code uint16, msg string) error {
 		base = ErrShuttingDown
 	case CodeVersion:
 		base = ErrVersionMismatch
+	case CodeTransient:
+		base = ErrTransient
 	}
 	if msg == "" {
 		return base
@@ -206,6 +215,8 @@ func codeFromErr(err error) uint16 {
 		return CodeShuttingDown
 	case errors.Is(err, ErrVersionMismatch):
 		return CodeVersion
+	case errors.Is(err, ErrTransient):
+		return CodeTransient
 	}
 	return CodeInternal
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	gptpu "repro"
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
@@ -45,6 +46,12 @@ type Config struct {
 	// Metrics is the telemetry registry the daemon and its runtime
 	// record into (nil = a fresh registry, exposed via Metrics).
 	Metrics *telemetry.Registry
+	// Fault is the deterministic fault-injection plan for the daemon's
+	// device pool (nil = no injected faults).
+	Fault *fault.Config
+	// RetryBudget bounds the runtime's per-instruction dispatch
+	// retries under injected faults (0 = the runtime default of 8).
+	RetryBudget int
 }
 
 // Server is the gptpu-serve daemon: one shared runtime context, an
@@ -84,6 +91,8 @@ func New(cfg Config) *Server {
 		Devices:         cfg.Devices,
 		DispatchWorkers: cfg.DispatchWorkers,
 		Metrics:         reg,
+		Fault:           cfg.Fault,
+		RetryBudget:     cfg.RetryBudget,
 	})
 	s := &Server{
 		cfg:   cfg,
@@ -368,6 +377,8 @@ func errStatus(code uint16) string {
 		return "shutting_down"
 	case CodeVersion:
 		return "version"
+	case CodeTransient:
+		return "transient"
 	}
 	return "internal"
 }
@@ -380,6 +391,13 @@ func errStatus(code uint16) string {
 // different matrices, so small operands can name a result large enough
 // to exhaust daemon memory or overflow the reply frame.
 func validateShapes(req *OpRequest) error {
+	// The wire accepts arbitrary float32 bit patterns; NaN/Inf inputs
+	// would defeat the symmetric quantization (one +Inf used to drive
+	// the scale to 0 and poison the whole result with NaN), so they
+	// are rejected here as malformed rather than deep in the runtime.
+	if !req.A.AllFinite() || (req.B != nil && !req.B.AllFinite()) {
+		return fmt.Errorf("%w: matrix contains non-finite values (NaN or Inf)", ErrBadRequest)
+	}
 	switch req.Op {
 	case MsgGemm:
 		if req.A.Cols != req.B.Rows {
@@ -434,10 +452,23 @@ func (s *Server) execute(req *OpRequest) (*tensor.Matrix, error) {
 		}
 	})
 	if err := task.Wait(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInternal, err)
+		return nil, mapRuntimeErr(err)
 	}
 	if out == nil {
 		return nil, fmt.Errorf("%w: operator returned no result", ErrInternal)
 	}
 	return out, nil
+}
+
+// mapRuntimeErr classifies a runtime task error into the wire's typed
+// failure classes: bad operand data is the client's fault, fault-path
+// failures are retryable, everything else is internal.
+func mapRuntimeErr(err error) error {
+	switch {
+	case errors.Is(err, gptpu.ErrBadInput):
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	case errors.Is(err, gptpu.ErrRetryBudget), errors.Is(err, gptpu.ErrTransient):
+		return fmt.Errorf("%w: %v", ErrTransient, err)
+	}
+	return fmt.Errorf("%w: %v", ErrInternal, err)
 }

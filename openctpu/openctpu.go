@@ -116,8 +116,16 @@ func Init(devices int) *Context {
 // (0 = one per host core). Worker count only changes real wall-clock
 // dispatch speed, never simulated results.
 func InitWorkers(devices, workers int) *Context {
+	return InitConfig(gptpu.Config{Devices: devices, DispatchWorkers: workers})
+}
+
+// InitConfig opens the runtime with a full gptpu.Config: the escape
+// hatch for runtime knobs the C API never had, such as fault
+// injection (Config.Fault), retry budgets, and a shared telemetry
+// registry.
+func InitConfig(cfg gptpu.Config) *Context {
 	return &Context{
-		ctx:   gptpu.Open(gptpu.Config{Devices: devices, DispatchWorkers: workers}),
+		ctx:   gptpu.Open(cfg),
 		tasks: map[int]*gptpu.Task{},
 	}
 }
