@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race ci bench bench-json bench-serve-json serve-smoke chaos-smoke fuzz-smoke clean
+.PHONY: all build test vet race ci bench bench-json bench-serve-json bench-kernels bench-kernels-json serve-smoke chaos-smoke fuzz-smoke clean
 
 all: build
 
@@ -18,7 +18,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet race serve-smoke chaos-smoke fuzz-smoke
+ci: vet race serve-smoke chaos-smoke fuzz-smoke bench-kernels
 
 # serve-smoke builds the gptpu-serve daemon, boots it on an ephemeral
 # port, round-trips a client GEMM, and asserts a clean drain on
@@ -35,12 +35,14 @@ chaos-smoke:
 
 # fuzz-smoke gives each fuzz target a short budget ('go test -fuzz'
 # accepts exactly one target per invocation, hence one line each):
-# the wire-protocol frame decoder and the model-format decoders.
+# the wire-protocol frame decoder, the model-format decoders, and the
+# conv2D fast-path/reference equivalence oracle.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeFrame' -fuzztime 5s ./internal/server
 	$(GO) test -run '^$$' -fuzz 'FuzzDecode$$' -fuzztime 5s ./internal/model
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeFrom' -fuzztime 5s ./internal/model
 	$(GO) test -run '^$$' -fuzz 'FuzzInstructionPacket' -fuzztime 5s ./internal/edgetpu
+	$(GO) test -run '^$$' -fuzz 'FuzzConv2DEquiv' -fuzztime 5s ./internal/edgetpu
 
 bench:
 	$(GO) run ./cmd/gptpu-bench
@@ -56,6 +58,19 @@ bench-json:
 # clients) as JSON.
 bench-serve-json:
 	$(GO) run ./cmd/gptpu-bench -exp serve -format json > BENCH_PR3.json
+
+# bench-kernels is the kernel-substrate benchmark smoke: every naive vs
+# optimized instruction microbenchmark runs once (-benchtime 1x) so CI
+# catches kernels that crash, allocate unboundedly, or lose their
+# reference twin without paying for stable timings.
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'Benchmark(Conv2D|FullyConnected|Add|Tanh|Crop|Mean|Max)' -benchtime 1x ./internal/edgetpu
+
+# bench-kernels-json captures the kernel-substrate characterization
+# (naive vs blocked ns/op and GB/s per instruction, plus the dispatch
+# re-run on the optimized substrate) as JSON.
+bench-kernels-json:
+	$(GO) run ./cmd/gptpu-bench -exp kernels -full -format json > BENCH_PR5.json
 
 clean:
 	$(GO) clean ./...

@@ -39,8 +39,8 @@ func Dispatch(o Opts) *Report {
 	}
 
 	for _, devs := range []int{4, 8} {
-		serial := runDispatch(devs, 1, n)
-		par := runDispatch(devs, parallelWorkers, n)
+		serial := measureDispatch(devs, 1, n, dispatchReps)
+		par := measureDispatch(devs, parallelWorkers, n, dispatchReps)
 		rep.AddRow(fmt.Sprintf("%d", devs), "1",
 			secs(serial.wall.Seconds()), secs(serial.dispatchWall), secs(serial.makespan),
 			"1.00x", pct(serial.devUtil))
@@ -57,6 +57,27 @@ func Dispatch(o Opts) *Report {
 	}
 	rep.AddNote("workload: functional tpuGemm %dx%d + Add + Conv2D on one stream", n, n)
 	return rep
+}
+
+// dispatchReps is the measured repetition count per configuration.
+const dispatchReps = 3
+
+// measureDispatch applies the wall-clock measurement protocol to one
+// configuration: one untimed warmup pass (buffer pools, branch
+// predictors, and the page cache all start cold on the first context),
+// then the best wall time of reps measured passes. The protocol is
+// identical for serial and parallel rows, so the speedup column
+// compares steady states, not cold-start ordering. Virtual columns
+// (makespan, device utilization) are deterministic across passes.
+func measureDispatch(devices, workers, n, reps int) dispatchRun {
+	runDispatch(devices, workers, n) // warmup, discarded
+	best := runDispatch(devices, workers, n)
+	for i := 1; i < reps; i++ {
+		if r := runDispatch(devices, workers, n); r.wall < best.wall {
+			best = r
+		}
+	}
+	return best
 }
 
 // dispatchRun is one measured configuration.

@@ -134,6 +134,7 @@ func All() []Experiment {
 		{"sensitivity", "Calibration-constant sensitivity of the conclusions", Sensitivity},
 		{"dispatch", "IQ dispatch engine: serial vs parallel wall time", Dispatch},
 		{"serve", "Serving layer: micro-batched vs unbatched GEMM throughput", Serve},
+		{"kernels", "Kernel substrate: naive vs blocked int8 compute", Kernels},
 	}
 }
 

@@ -64,6 +64,10 @@ func Serve(o Opts) *Report {
 	}
 	rep.AddNote("workload: %d clients x %d GEMMs (%d in flight each), shared %s weights, over loopback TCP",
 		clients, perClient, pipeDepth, size)
+	enc, dec := server.CodecThroughput(randMatrix(256, 9), 20*time.Millisecond)
+	rep.AddNote("matrix frame codec (256x256 f32): encode %.1fGB/s, decode %.1fGB/s — "+
+		"single contiguous grow+put/get per frame (the former per-element append encode paid "+
+		"doubling-and-recopy growth on every reply)", enc, dec)
 	return rep
 }
 

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Steady-state allocation regression tests: the tensor buffer pools
+// exist so the plan→submit→collect path stops allocating fresh tile
+// buffers per instruction, and these budgets pin that property. Each
+// op's allocs/op must stay roughly proportional to its instruction
+// count (plan bookkeeping, quantized operands, the returned result) —
+// NOT to instruction count × tile buffers, which is what the
+// pre-pooling substrate paid. The budgets carry ~2x headroom over
+// measured steady state so they catch pooling rot (an accidental
+// revert to per-tile make() calls blows through them immediately)
+// without flaking on allocator internals.
+func TestGemmStreamAllocBudget(t *testing.T) {
+	ctx := testCtx(2)
+	defer ctx.Close()
+	rng := rand.New(rand.NewSource(7))
+	const n = 256
+	a := tensor.RandUniform(rng, n, n, -4, 4)
+	b := tensor.RandUniform(rng, n, n, -4, 4)
+	ba, bb := ctx.NewBuffer(a), ctx.NewBuffer(b)
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = rng.Float32()*8 - 4
+	}
+
+	// One untimed pass per op primes the buffer pools, quantization
+	// LUTs, and the lazily spawned dispatch workers.
+	warm := ctx.NewStream()
+	_ = warm.MatVec(ba, x)
+	_ = warm.MatMul(ba, bb)
+	_ = warm.MatMulFC(ba, bb)
+	if warm.Err() != nil {
+		t.Fatal(warm.Err())
+	}
+
+	cases := []struct {
+		name   string
+		budget float64
+		run    func(s *Stream)
+	}{
+		// MatVec: quantize x once, one FC instruction per row chunk
+		// with a pooled int32 part buffer, one []float32 result.
+		{"MatVec", 64, func(s *Stream) { _ = s.MatVec(ba, x) }},
+		// MatMul: GEMM-as-strided-conv2D sweep; windows/kernels are
+		// packed per segment, per-rectangle outputs come from the
+		// int32 pool and return on accumulate.
+		{"MatMul", 600, func(s *Stream) { _ = s.MatMul(ba, bb) }},
+		// MatMulFC: one FC instruction per (row-chunk, column) pair —
+		// 512 instructions here, so per-instruction bookkeeping (plan
+		// entries, closures, wide CPU-side accumulators) dominates;
+		// the int8 column staging and int32 part buffers are pooled.
+		// This is the paper's deliberately FC-bound comparison path,
+		// so the budget scales with instruction count, not tiles.
+		{"MatMulFC", 4200, func(s *Stream) { _ = s.MatMulFC(ba, bb) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := testing.AllocsPerRun(5, func() {
+				s := ctx.NewStream()
+				tc.run(s)
+				if s.Err() != nil {
+					t.Fatal(s.Err())
+				}
+			})
+			t.Logf("%s: %.0f allocs/op (budget %.0f)", tc.name, got, tc.budget)
+			if got > tc.budget {
+				t.Errorf("%s allocates %.0f per op, budget %.0f — did a pooled tile path regress to make()?",
+					tc.name, got, tc.budget)
+			}
+		})
+	}
+}

@@ -81,12 +81,11 @@ func (b *batch) collect() (timing.Duration, error) {
 }
 
 // iqItem is one queued IQ entry: the instruction work, the batch it
-// belongs to, its position in the global charge order, and its
-// enqueue instant (for the enqueue-to-issue latency histogram).
+// belongs to, and its enqueue instant (for the enqueue-to-issue
+// latency histogram).
 type iqItem struct {
 	w   *instrWork
 	b   *batch
-	seq uint64
 	enq time.Time
 }
 
@@ -99,14 +98,19 @@ type iqItem struct {
 //     exec/download accounting, device-lost retry) mutates shared
 //     virtual-time state — device compute units, per-card PCIe
 //     uplinks, the affinity table, FCFS availability queries — so its
-//     outcome depends on operation order. Workers therefore charge
-//     strictly in enqueue order, handing a sequence ticket from one
-//     instruction to the next. This keeps the virtual makespan
-//     bit-identical for any worker count or GOMAXPROCS.
+//     outcome depends on operation order. A worker therefore charges
+//     an instruction at pop time, while still holding the queue lock:
+//     pops are FIFO, so charge order equals enqueue order and the
+//     virtual makespan is bit-identical for any worker count or
+//     GOMAXPROCS. (An earlier design released the lock and re-ordered
+//     via per-instruction sequence tickets; the ticket hand-off cost a
+//     Broadcast wake storm per instruction, which dominated dispatch
+//     wall time once the functional kernels got fast.)
 //
 //   - Functional closures (the bit-exact int8 computation) are pure
-//     with respect to runtime state and run wall-clock-parallel on the
-//     workers, overlapping with the charging of later instructions.
+//     with respect to runtime state and run outside the lock,
+//     wall-clock-parallel on the workers, overlapping with the
+//     charging of later instructions.
 //
 // Workers are spawned lazily on submission and retire when the queue
 // drains, so idle contexts hold no goroutines and no explicit
@@ -116,10 +120,10 @@ type engine struct {
 	workers int
 
 	mu       sync.Mutex
-	cond     *sync.Cond // guards every predicate below
+	notEmpty *sync.Cond // workers: queue gained an item, or closed/idle flipped
+	notFull  *sync.Cond // submitters: queue space freed, or the drain gate reopened
+	idle     *sync.Cond // drain/close: inflight hit zero or a worker retired
 	queue    []iqItem   // FIFO, at most iqCap entries
-	nextSeq  uint64     // sequence of the next enqueued item
-	turn     uint64     // sequence currently allowed to charge
 	running  int        // live worker goroutines
 	inflight int        // items enqueued but not yet completed
 	freeIDs  []int      // retired worker slots, for stable telemetry labels
@@ -130,7 +134,9 @@ type engine struct {
 
 func newEngine(c *Context, workers int) *engine {
 	e := &engine{c: c, workers: workers}
-	e.cond = sync.NewCond(&e.mu)
+	e.notEmpty = sync.NewCond(&e.mu)
+	e.notFull = sync.NewCond(&e.mu)
+	e.idle = sync.NewCond(&e.mu)
 	return e
 }
 
@@ -146,7 +152,7 @@ func (e *engine) submit(works []instrWork, bt *batch) {
 		// Reset drain in progress (no instruction may charge virtual
 		// time across the timeline rewind).
 		for (len(e.queue) >= iqCap || e.draining) && !e.closed {
-			e.cond.Wait()
+			e.notFull.Wait()
 		}
 		if e.closed {
 			// The engine shut down while this submission was in
@@ -158,8 +164,7 @@ func (e *engine) submit(works []instrWork, bt *batch) {
 			}
 			return
 		}
-		e.queue = append(e.queue, iqItem{w: &works[i], b: bt, seq: e.nextSeq, enq: time.Now()})
-		e.nextSeq++
+		e.queue = append(e.queue, iqItem{w: &works[i], b: bt, enq: time.Now()})
 		e.inflight++
 		e.c.met.iqDepth.Add(1)
 		if e.running < e.workers {
@@ -173,15 +178,16 @@ func (e *engine) submit(works []instrWork, bt *batch) {
 			}
 			go e.worker(id)
 		}
-		e.cond.Broadcast()
+		e.notEmpty.Signal()
 	}
 	e.mu.Unlock()
 }
 
-// worker is one dispatch goroutine: pop the queue front, wait for the
-// charge turn, charge the instruction's virtual pipeline, release the
-// turn, then run the functional closure in parallel with other
-// workers. id labels this worker slot's telemetry.
+// worker is one dispatch goroutine: pop the queue front and charge the
+// instruction's virtual pipeline while still holding the queue lock
+// (FIFO pops make that charge order deterministic), then run the
+// functional closure outside the lock, in parallel with other workers.
+// id labels this worker slot's telemetry.
 func (e *engine) worker(id int) {
 	label := strconv.Itoa(id)
 	busy := e.c.met.workerBusy.With(label)
@@ -193,21 +199,15 @@ func (e *engine) worker(id int) {
 			if e.closed || e.inflight == 0 {
 				e.running--
 				e.freeIDs = append(e.freeIDs, id)
-				e.cond.Broadcast()
+				e.idle.Broadcast()
 				e.mu.Unlock()
 				return
 			}
-			e.cond.Wait()
+			e.notEmpty.Wait()
 		}
 		item := e.queue[0]
 		e.queue = e.queue[1:]
-		e.cond.Broadcast() // queue space freed: wake submitters
-		// Wait for this item's charge turn. Items pop in FIFO = seq
-		// order, so the turn owner is always held by some worker.
-		for e.turn != item.seq {
-			e.cond.Wait()
-		}
-		e.mu.Unlock()
+		e.notFull.Signal() // queue space freed: wake one submitter
 
 		start := time.Now()
 		e.c.met.queueWait.Observe(start.Sub(item.enq).Seconds())
@@ -218,10 +218,6 @@ func (e *engine) worker(id int) {
 		if !item.b.failed() {
 			end, err = e.c.chargeInstr(item.w)
 		}
-
-		e.mu.Lock()
-		e.turn++
-		e.cond.Broadcast()
 		e.mu.Unlock()
 
 		if err == nil && item.w.fn != nil && !item.b.failed() {
@@ -235,7 +231,8 @@ func (e *engine) worker(id int) {
 		e.inflight--
 		e.c.met.iqDepth.Add(-1)
 		if e.inflight == 0 {
-			e.cond.Broadcast()
+			e.idle.Broadcast()
+			e.notEmpty.Broadcast() // idle workers may now retire
 		}
 	}
 }
@@ -251,7 +248,7 @@ func (e *engine) drain() {
 	e.mu.Lock()
 	e.draining = true
 	for e.inflight > 0 {
-		e.cond.Wait()
+		e.idle.Wait()
 	}
 	e.mu.Unlock()
 }
@@ -261,7 +258,7 @@ func (e *engine) drain() {
 func (e *engine) release() {
 	e.mu.Lock()
 	e.draining = false
-	e.cond.Broadcast()
+	e.notFull.Broadcast()
 	e.mu.Unlock()
 }
 
@@ -274,12 +271,13 @@ func (e *engine) release() {
 func (e *engine) close() {
 	e.mu.Lock()
 	for e.inflight > 0 && !e.closed {
-		e.cond.Wait()
+		e.idle.Wait()
 	}
 	e.closed = true
-	e.cond.Broadcast()
+	e.notEmpty.Broadcast() // waiting workers observe closed and retire
+	e.notFull.Broadcast()  // blocked submitters observe closed and fail
 	for e.running > 0 {
-		e.cond.Wait()
+		e.idle.Wait()
 	}
 	e.mu.Unlock()
 }

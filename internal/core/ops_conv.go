@@ -98,6 +98,7 @@ func (s *Stream) Conv2D(a *Buffer, kernel *Buffer) *tensor.Matrix {
 						out.Set(sp.R0+r, sp.C0+cc, float32(out8)*dq)
 					}
 				}
+				tensor.PutI32(acc)
 			}
 		}
 		pl.add(w)
@@ -194,6 +195,7 @@ func (s *Stream) Conv2DStrided(a, kernel *Buffer, strideR, strideC int) *tensor.
 						out.Set(r, cc, float32(out8)*dq)
 					}
 				}
+				tensor.PutI32(acc)
 			}
 		}
 		pl.add(w)

@@ -119,15 +119,17 @@ func (s *Stream) MatVec(a *Buffer, x []float32) []float32 {
 		if c.opts.Functional {
 			r0, rows := r0, rows
 			w.fn = func() {
+				part := tensor.GetI32ForOverwrite(1, rows)
 				for ct := 0; ct < colTiles; ct++ {
 					c0 := ct * tile
 					cols := segLen(n, ct, tile)
 					wt := qa.View(r0, c0, rows, cols)
-					part := edgetpu.FullyConnected(wt, qx[c0:c0+cols])
-					for i, v := range part {
+					edgetpu.FullyConnectedInto(part.Data, wt, qx[c0:c0+cols])
+					for i, v := range part.Data {
 						acc[r0+i] += int64(v)
 					}
 				}
+				tensor.PutI32(part)
 			}
 		}
 		pl.add(w)
@@ -215,20 +217,23 @@ func (s *Stream) MatMulFC(a, b *Buffer) *tensor.Matrix {
 				j, r0, rows := j, r0, rows
 				w.fn = func() {
 					acc := make([]int64, rows)
-					col := make([]int8, 0, tile)
+					colBuf := tensor.GetI8ForOverwrite(1, tile)
+					part := tensor.GetI32ForOverwrite(1, rows)
 					for ct := 0; ct < colTiles; ct++ {
 						c0 := ct * tile
 						cols := segLen(n, ct, tile)
-						col = col[:0]
+						col := colBuf.Data[:0]
 						for i := 0; i < cols; i++ {
 							col = append(col, qb.At(c0+i, j))
 						}
 						wt := qa.View(r0, c0, rows, cols)
-						part := edgetpu.FullyConnected(wt, col)
-						for i, v := range part {
+						edgetpu.FullyConnectedInto(part.Data, wt, col)
+						for i, v := range part.Data {
 							acc[i] += int64(v)
 						}
 					}
+					tensor.PutI32(part)
+					tensor.PutI8(colBuf)
 					inv := 1 / (float64(pa.Scale) * float64(pb.Scale))
 					for i, v := range acc {
 						out.Set(r0+i, j, float32(float64(v)*inv))
@@ -291,15 +296,30 @@ func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
 	segLenN := (n + ks - 1) / ks
 
 	out := allocResult(c, m, k)
+
+	// Chunk geometry is hoisted above the segment loop and shared by
+	// every segment (sized for the largest segment's padded block n2max,
+	// so smaller last segments still fit on-chip memory). Aligned
+	// rectangles across segments let the functional accumulation run
+	// under one lock per output rectangle instead of a single global
+	// mutex that serialized every closure.
+	side0 := int(math.Ceil(math.Sqrt(float64(segLenN))))
+	n2max := side0 * side0
+	parallel := (m + 2*c.opts.Devices - 1) / (2 * c.opts.Devices)
+	chunkRows := clampChunk(minInt(int(half/int64(n2max)), parallel), m)
+	chanBatch := clampChunk(int(half/int64(n2max)), k)
+	ncc := (k + chanBatch - 1) / chanBatch
+
 	// Segment partials accumulate exactly in wide integers ("the CPU
 	// code only needs to add received values", section 6.2.1) — also
 	// what keeps the functional result bit-identical while segment
 	// closures run in parallel: integer addition commutes, so the
 	// nondeterministic closure completion order cannot show.
 	var acc []int64
-	var accMu sync.Mutex
+	var rectMu []sync.Mutex
 	if c.opts.Functional {
 		acc = make([]int64, m*k)
+		rectMu = make([]sync.Mutex, ((m+chunkRows-1)/chunkRows)*ncc)
 	}
 
 	// Segments pipeline through the IQ: each segment's instructions are
@@ -345,16 +365,12 @@ func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
 			})
 		ready := maxDur(da.readyAt, db.readyAt)
 
-		// Partition rows of a and kernels of b so one instruction's
-		// operands fit the on-chip memory, and finely enough that the
-		// runtime spreads instructions over every attached device
-		// ("Tensorizer also automatically generates parallel tasks
-		// from the user code", section 9.3).
-		parallel := (m + 2*c.opts.Devices - 1) / (2 * c.opts.Devices)
-		chunkRows := clampChunk(minInt(int(half/int64(n2)), parallel), m)
-		chanBatch := clampChunk(int(half/int64(n2)), k)
-
-		pl := s.plan(((m + chunkRows - 1) / chunkRows) * ((k + chanBatch - 1) / chanBatch))
+		// Rows of a and kernels of b partition along the hoisted chunk
+		// geometry: one instruction's operands fit the on-chip memory,
+		// finely enough that the runtime spreads instructions over every
+		// attached device ("Tensorizer also automatically generates
+		// parallel tasks from the user code", section 9.3).
+		pl := s.plan(((m + chunkRows - 1) / chunkRows) * ncc)
 		for r0 := 0; r0 < m; r0 += chunkRows {
 			rows := chunkRows
 			if r0+rows > m {
@@ -383,28 +399,34 @@ func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
 					ready:    ready,
 				}
 				if c.opts.Functional {
-					r0, rows, c0, nch := r0, rows, c0, nch
+					r0, rows, c0, nch, segN := r0, rows, c0, nch, segN
 					daq, dbq := da.q, db.q
+					mu := &rectMu[(r0/chunkRows)*ncc+c0/chanBatch]
 					w.fn = func() {
-						// Reinterpret the padded rows as stacked s x s
-						// blocks and the kernel rows as s x s kernels;
-						// run the strided conv2D exactly as the device
-						// would.
-						in := &tensor.MatrixI8{Rows: rows * side, Cols: side, Stride: side,
-							Data: daq.Data[r0*n2 : (r0+rows)*n2]}
-						kernels := make([]*tensor.MatrixI8, nch)
-						for j := 0; j < nch; j++ {
-							kernels[j] = &tensor.MatrixI8{Rows: side, Cols: side, Stride: side,
-								Data: dbq.Row(c0 + j)}
-						}
-						outs := edgetpu.Conv2D(in, kernels, side, side)
-						accMu.Lock()
-						for j, och := range outs {
-							for i := 0; i < rows; i++ {
-								acc[(r0+i)*k+c0+j] += int64(och.At(i, 0))
+						// Each padded row of the derived layout *is* one
+						// flattened s x s window, each kernel row one
+						// flattened s x s kernel, so the strided conv2D
+						// the device runs is a row-by-row dot product —
+						// Conv2DGemm, with no per-channel matrix headers.
+						// The views stop at segN: columns segN..n2 are
+						// the layout's zero padding, whose products the
+						// device computes but which contribute exactly
+						// nothing to the integer accumulators — skipping
+						// them is bit-identical and trims n2-segN MACs
+						// off every dot product.
+						wins := daq.View(r0, 0, rows, segN)
+						kers := dbq.View(c0, 0, nch, segN)
+						outs := edgetpu.Conv2DGemm(wins, kers)
+						mu.Lock()
+						for i := 0; i < rows; i++ {
+							oRow := outs.Row(i)
+							base := (r0+i)*k + c0
+							for j, v := range oRow {
+								acc[base+j] += int64(v)
 							}
 						}
-						accMu.Unlock()
+						mu.Unlock()
+						tensor.PutI32(outs)
 					}
 				}
 				pl.add(w)

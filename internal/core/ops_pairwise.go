@@ -159,6 +159,7 @@ func pairwiseTile(op isa.OpCode, qa, qb *tensor.MatrixI8, out *tensor.Matrix, sp
 			out.Set(sp.R0+r, sp.C0+cix, float32(out8)*dequant)
 		}
 	}
+	tensor.PutI32(wide)
 }
 
 // i8AbsMax returns max(|v|) over a quantized matrix (0 for empty).
@@ -251,6 +252,7 @@ func elementwiseTile(op isa.OpCode, qa *tensor.MatrixI8, out *tensor.Matrix, sp 
 			out.Set(sp.R0+r, sp.C0+cix, float32(v)*dequant)
 		}
 	}
+	tensor.PutI8(res)
 }
 
 // Mean counts the average value of all elements (Table 1).
@@ -400,6 +402,7 @@ func (s *Stream) Crop(a *Buffer, r0, c0, rows, cols int) *tensor.Matrix {
 		w.fn = func() {
 			sub := edgetpu.Crop(qa, r0, c0, rows, cols)
 			out = quant.Dequantize(sub, pa)
+			tensor.PutI8(sub)
 		}
 	}
 	pl := s.plan(1)
@@ -440,6 +443,7 @@ func (s *Stream) Ext(a *Buffer, rows, cols int) *tensor.Matrix {
 		w.fn = func() {
 			padded := edgetpu.Ext(qa, rows, cols)
 			out = quant.Dequantize(padded, pa)
+			tensor.PutI8(padded)
 		}
 	}
 	pl := s.plan(1)

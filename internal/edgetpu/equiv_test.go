@@ -1,0 +1,303 @@
+package edgetpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Randomized bit-exactness suite: every optimized kernel must produce
+// results bit-identical to its ops_ref.go oracle across odd shapes,
+// strided views, and windows clipped at the input's edges. Integer
+// accumulation is exact and order-independent, so any divergence is a
+// real bug in the blocked loops, not tolerance noise.
+
+// randI8 fills a fresh rows x cols matrix with full-range int8 values.
+func randI8(rng *rand.Rand, rows, cols int) *tensor.MatrixI8 {
+	m := tensor.NewI8(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = int8(rng.Intn(256) - 128)
+	}
+	return m
+}
+
+// randI8Operand returns either a compact matrix or a strided view of a
+// larger one, so kernels see both memory layouts.
+func randI8Operand(rng *rand.Rand, rows, cols int) *tensor.MatrixI8 {
+	if rng.Intn(2) == 0 {
+		return randI8(rng, rows, cols)
+	}
+	parent := randI8(rng, rows+rng.Intn(3)+1, cols+rng.Intn(5)+1)
+	return parent.View(rng.Intn(parent.Rows-rows+1), rng.Intn(parent.Cols-cols+1), rows, cols)
+}
+
+func sameI32(t *testing.T, op string, got, want *tensor.MatrixI32) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", op, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for r := 0; r < want.Rows; r++ {
+		gr, wr := got.Row(r), want.Row(r)
+		for c := range wr {
+			if gr[c] != wr[c] {
+				t.Fatalf("%s: [%d][%d] = %d, want %d", op, r, c, gr[c], wr[c])
+			}
+		}
+	}
+}
+
+func sameI8(t *testing.T, op string, got, want *tensor.MatrixI8) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", op, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for r := 0; r < want.Rows; r++ {
+		gr, wr := got.Row(r), want.Row(r)
+		for c := range wr {
+			if gr[c] != wr[c] {
+				t.Fatalf("%s: [%d][%d] = %d, want %d", op, r, c, gr[c], wr[c])
+			}
+		}
+	}
+}
+
+func TestConv2DEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		inR, inC := rng.Intn(33)+1, rng.Intn(33)+1
+		in := randI8Operand(rng, inR, inC)
+		// Kernels may exceed the input on purpose: the instruction
+		// zero-pads past the bottom/right edges.
+		nch := rng.Intn(6) + 1
+		kernels := make([]*tensor.MatrixI8, nch)
+		kR, kC := rng.Intn(inR+2)+1, rng.Intn(inC+2)+1
+		for ch := range kernels {
+			if rng.Intn(4) == 0 { // occasionally mixed shapes across channels
+				kernels[ch] = randI8Operand(rng, rng.Intn(inR+2)+1, rng.Intn(inC+2)+1)
+			} else {
+				kernels[ch] = randI8Operand(rng, kR, kC)
+			}
+		}
+		sr, sc := rng.Intn(5), rng.Intn(5) // 0 exercises the <=0 → 1 normalization
+		got := Conv2D(in, kernels, sr, sc)
+		want := RefConv2D(in, kernels, sr, sc)
+		for ch := range kernels {
+			sameI32(t, "Conv2D", got[ch], want[ch])
+			tensor.PutI32(got[ch])
+		}
+	}
+}
+
+// TestConv2DEquivalenceGemmShape drives the contiguous-window fast
+// path specifically: kernel width == input width == column stride, the
+// configuration tpuGemm emits.
+func TestConv2DEquivalenceGemmShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		s := rng.Intn(12) + 1
+		rows := s * (rng.Intn(6) + 1)
+		if rng.Intn(3) == 0 {
+			rows += rng.Intn(s) // ragged bottom edge: last window clips
+		}
+		in := randI8(rng, rows, s)
+		nch := rng.Intn(9) + 1
+		kernels := make([]*tensor.MatrixI8, nch)
+		for ch := range kernels {
+			kernels[ch] = randI8(rng, s, s)
+		}
+		got := Conv2D(in, kernels, s, s)
+		want := RefConv2D(in, kernels, s, s)
+		for ch := range kernels {
+			sameI32(t, "Conv2D(gemm-shape)", got[ch], want[ch])
+			tensor.PutI32(got[ch])
+		}
+	}
+}
+
+func TestConv2DGemmEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		s := rng.Intn(10) + 1
+		nWin, nch := rng.Intn(17)+1, rng.Intn(17)+1
+		wins := randI8(rng, nWin, s*s)
+		kers := randI8(rng, nch, s*s)
+		got := Conv2DGemm(wins, kers)
+		// Oracle: per-channel strided conv over the stacked windows.
+		stacked := &tensor.MatrixI8{Rows: nWin * s, Cols: s, Stride: s, Data: wins.Data}
+		kviews := make([]*tensor.MatrixI8, nch)
+		for ch := range kviews {
+			kviews[ch] = &tensor.MatrixI8{Rows: s, Cols: s, Stride: s, Data: kers.Row(ch)}
+		}
+		want := RefConv2D(stacked, kviews, s, s)
+		for ch := 0; ch < nch; ch++ {
+			for i := 0; i < nWin; i++ {
+				if got.At(i, ch) != want[ch].At(i, 0) {
+					t.Fatalf("Conv2DGemm: [%d][%d] = %d, want %d", i, ch, got.At(i, ch), want[ch].At(i, 0))
+				}
+			}
+		}
+		tensor.PutI32(got)
+	}
+}
+
+// TestConv2DGemmZeroTailEquivalence pins the MatMul closure's
+// truncated-view optimization: when inner dimension n pads up to
+// n2 = s*s, columns n..n2 of every window and kernel row are zero, and
+// Conv2DGemm over views truncated to n columns must match the full
+// padded computation bit-for-bit (the zero products it skips
+// contribute exactly nothing to the integer accumulators).
+func TestConv2DGemmZeroTailEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		s := rng.Intn(9) + 2
+		n2 := s * s
+		segN := rng.Intn(n2-1) + 1 // 1..n2-1 live columns, rest zero tail
+		nWin, nch := rng.Intn(17)+1, rng.Intn(17)+1
+		wins := tensor.NewI8(nWin, n2)
+		kers := tensor.NewI8(nch, n2)
+		for r := 0; r < nWin; r++ {
+			row := wins.Row(r)
+			for i := 0; i < segN; i++ {
+				row[i] = int8(rng.Intn(256) - 128)
+			}
+		}
+		for r := 0; r < nch; r++ {
+			row := kers.Row(r)
+			for i := 0; i < segN; i++ {
+				row[i] = int8(rng.Intn(256) - 128)
+			}
+		}
+		got := Conv2DGemm(wins.View(0, 0, nWin, segN), kers.View(0, 0, nch, segN))
+		want := Conv2DGemm(wins, kers)
+		for i := 0; i < nWin; i++ {
+			for ch := 0; ch < nch; ch++ {
+				if got.At(i, ch) != want.At(i, ch) {
+					t.Fatalf("zero-tail trial %d: [%d][%d] = %d, want %d",
+						trial, i, ch, got.At(i, ch), want.At(i, ch))
+				}
+			}
+		}
+		tensor.PutI32(got)
+		tensor.PutI32(want)
+	}
+}
+
+func TestFullyConnectedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		rows, cols := rng.Intn(40)+1, rng.Intn(40)+1
+		w := randI8Operand(rng, rows, cols)
+		vec := make([]int8, cols)
+		for i := range vec {
+			vec[i] = int8(rng.Intn(256) - 128)
+		}
+		got := FullyConnected(w, vec)
+		want := RefFullyConnected(w, vec)
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("FullyConnected: [%d] = %d, want %d", r, got[r], want[r])
+			}
+		}
+	}
+}
+
+func TestPairwiseEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ops := []struct {
+		name string
+		fast func(a, b *tensor.MatrixI8) *tensor.MatrixI32
+		ref  func(a, b *tensor.MatrixI8) *tensor.MatrixI32
+	}{
+		{"Add", Add, RefAdd}, {"Sub", Sub, RefSub}, {"Mul", Mul, RefMul},
+	}
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := rng.Intn(30)+1, rng.Intn(30)+1
+		a := randI8Operand(rng, rows, cols)
+		b := randI8Operand(rng, rows, cols)
+		for _, op := range ops {
+			got := op.fast(a, b)
+			sameI32(t, op.name, got, op.ref(a, b))
+			tensor.PutI32(got)
+		}
+	}
+}
+
+func TestCropExtEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		rows, cols := rng.Intn(25)+1, rng.Intn(25)+1
+		in := randI8Operand(rng, rows, cols)
+
+		cr, cc := rng.Intn(rows)+1, rng.Intn(cols)+1
+		r0, c0 := rng.Intn(rows-cr+1), rng.Intn(cols-cc+1)
+		got := Crop(in, r0, c0, cr, cc)
+		sameI8(t, "Crop", got, RefCrop(in, r0, c0, cr, cc))
+		tensor.PutI8(got)
+
+		er, ec := rows+rng.Intn(8), cols+rng.Intn(8)
+		gotE := Ext(in, er, ec)
+		sameI8(t, "Ext", gotE, RefExt(in, er, ec))
+		tensor.PutI8(gotE)
+	}
+}
+
+func TestReduceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		rows, cols := rng.Intn(40)+1, rng.Intn(300)+1
+		in := randI8Operand(rng, rows, cols)
+
+		gotSum, gotN := MeanSum(in)
+		wantSum, wantN := RefMeanSum(in)
+		if gotSum != wantSum || gotN != wantN {
+			t.Fatalf("MeanSum: (%d, %d), want (%d, %d)", gotSum, gotN, wantSum, wantN)
+		}
+		if got, want := MaxVal(in), RefMaxVal(in); got != want {
+			t.Fatalf("MaxVal: %d, want %d", got, want)
+		}
+	}
+}
+
+func TestActivationEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := rng.Intn(25)+1, rng.Intn(25)+1
+		in := randI8Operand(rng, rows, cols)
+
+		scale := float32(rng.Float64()*100 + 0.5)
+		gotT := TanhLUT(in, scale)
+		sameI8(t, "TanhLUT", gotT, RefTanhLUT(in, scale))
+		tensor.PutI8(gotT)
+
+		gotR := ReLU(in)
+		sameI8(t, "ReLU", gotR, RefReLU(in))
+		tensor.PutI8(gotR)
+	}
+}
+
+// FuzzConv2DEquiv fuzzes conv2D shape and stride parameters: the
+// optimized path selection (contiguous / stride-1 / general) must stay
+// bit-identical to the reference for any geometry the fuzzer invents.
+func FuzzConv2DEquiv(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(8), uint8(3), uint8(3), uint8(1), uint8(1), uint8(2))
+	f.Add(int64(2), uint8(16), uint8(4), uint8(4), uint8(4), uint8(4), uint8(4), uint8(1)) // gemm shape
+	f.Add(int64(3), uint8(5), uint8(7), uint8(9), uint8(9), uint8(0), uint8(0), uint8(3))  // kernel > input, stride norm
+	f.Fuzz(func(t *testing.T, seed int64, inR, inC, kR, kC, sr, sc, nch uint8) {
+		rows, cols := int(inR)%48+1, int(inC)%48+1
+		kr, kc := int(kR)%(rows+3)+1, int(kC)%(cols+3)+1
+		n := int(nch)%5 + 1
+		rng := rand.New(rand.NewSource(seed))
+		in := randI8Operand(rng, rows, cols)
+		kernels := make([]*tensor.MatrixI8, n)
+		for ch := range kernels {
+			kernels[ch] = randI8Operand(rng, kr, kc)
+		}
+		got := Conv2D(in, kernels, int(sr)%6, int(sc)%6)
+		want := RefConv2D(in, kernels, int(sr)%6, int(sc)%6)
+		for ch := range kernels {
+			sameI32(t, "Conv2D(fuzz)", got[ch], want[ch])
+			tensor.PutI32(got[ch])
+		}
+	})
+}

@@ -8,13 +8,18 @@
 // accumulators, so quantization error measured by the experiments is
 // real, not modelled. Latency is charged separately through the
 // timing package's calibrated cost model.
+//
+// The entry points below run the blocked kernels of ops_fast.go;
+// ops_ref.go keeps the naive reference implementations that define
+// the semantics, and equiv_test.go pins the two bit-identical.
+// Output matrices come from the tensor buffer pools — callers that
+// fully consume a result should hand it back via tensor.PutI32 /
+// tensor.PutI8 (dropping it is always safe, see tensor/pool.go).
 package edgetpu
 
 import (
 	"fmt"
-	"math"
 
-	"repro/internal/quant"
 	"repro/internal/tensor"
 )
 
@@ -27,8 +32,8 @@ import (
 // with zero padding past the input's bottom/right edges, matching the
 // paper's observation that conv2D "can produce a result matrix that
 // has the same size as the non-kernel input" when unstrided. Results
-// are exact 32-bit accumulations; one output matrix is returned per
-// kernel (output channel).
+// are exact 32-bit accumulations; one (pooled) output matrix is
+// returned per kernel (output channel).
 func Conv2D(in *tensor.MatrixI8, kernels []*tensor.MatrixI8, strideR, strideC int) []*tensor.MatrixI32 {
 	if strideR <= 0 {
 		strideR = 1
@@ -36,34 +41,42 @@ func Conv2D(in *tensor.MatrixI8, kernels []*tensor.MatrixI8, strideR, strideC in
 	if strideC <= 0 {
 		strideC = 1
 	}
-	outs := make([]*tensor.MatrixI32, len(kernels))
 	outR := (in.Rows + strideR - 1) / strideR
 	outC := (in.Cols + strideC - 1) / strideC
-	for ch, k := range kernels {
-		out := tensor.NewI32(outR, outC)
-		for i := 0; i < outR; i++ {
-			for j := 0; j < outC; j++ {
-				var acc int32
-				baseR, baseC := i*strideR, j*strideC
-				for p := 0; p < k.Rows; p++ {
-					r := baseR + p
-					if r >= in.Rows {
-						break
-					}
-					inRow := in.Row(r)
-					kRow := k.Row(p)
-					maxQ := k.Cols
-					if baseC+maxQ > in.Cols {
-						maxQ = in.Cols - baseC
-					}
-					for q := 0; q < maxQ; q++ {
-						acc += int32(inRow[baseC+q]) * int32(kRow[q])
-					}
-				}
-				out.Set(i, j, acc)
+	outs := make([]*tensor.MatrixI32, len(kernels))
+	if len(kernels) == 0 {
+		return outs
+	}
+
+	// GEMM-as-strided-conv2D fast path: every window is one flat
+	// contiguous run of in.Data, every kernel one flat []int8 — the
+	// configuration tpuGemm emits (Table 1's highest-RPS instruction).
+	contig := outC <= 1
+	if contig {
+		for _, k := range kernels {
+			if k.Rows != kernels[0].Rows || !contigWindows(in, k, strideC) {
+				contig = false
+				break
 			}
 		}
-		outs[ch] = out
+	}
+	switch {
+	case contig:
+		for ch := range kernels {
+			outs[ch] = tensor.GetI32ForOverwrite(outR, outC)
+		}
+		conv2DContig(in, kernels, strideR, outs)
+	case strideR == 1 && strideC == 1:
+		// Stencil fast path: row-axpy sweeps (needs zeroed output).
+		for ch, k := range kernels {
+			outs[ch] = tensor.GetI32(outR, outC)
+			conv2DStride1(in, k, outs[ch])
+		}
+	default:
+		for ch, k := range kernels {
+			outs[ch] = tensor.GetI32ForOverwrite(outR, outC)
+			conv2DGeneral(in, k, outs[ch], strideR, strideC)
+		}
 	}
 	return outs
 }
@@ -72,76 +85,141 @@ func Conv2D(in *tensor.MatrixI8, kernels []*tensor.MatrixI8, strideR, strideC in
 // the input vector multiplies a weight matrix (Table 1), producing
 // one 32-bit accumulator per weight row.
 func FullyConnected(weights *tensor.MatrixI8, vec []int8) []int32 {
+	out := make([]int32, weights.Rows)
+	FullyConnectedInto(out, weights, vec)
+	return out
+}
+
+// FullyConnectedInto is FullyConnected writing into a caller-supplied
+// accumulator slice of length weights.Rows — the allocation-free form
+// the runtime's steady-state streams use with pooled buffers.
+func FullyConnectedInto(dst []int32, weights *tensor.MatrixI8, vec []int8) {
 	if len(vec) != weights.Cols {
 		panic(fmt.Sprintf("edgetpu: FullyConnected vector length %d != weight cols %d", len(vec), weights.Cols))
 	}
-	out := make([]int32, weights.Rows)
-	for r := 0; r < weights.Rows; r++ {
-		row := weights.Row(r)
-		var acc int32
-		for c, w := range row {
-			acc += int32(w) * int32(vec[c])
-		}
-		out[r] = acc
+	if len(dst) != weights.Rows {
+		panic(fmt.Sprintf("edgetpu: FullyConnected dst length %d != weight rows %d", len(dst), weights.Rows))
 	}
-	return out
+	fullyConnectedInto(dst, weights, vec)
 }
 
 // Add performs pair-wise addition on two matrices with wide results.
 func Add(a, b *tensor.MatrixI8) *tensor.MatrixI32 {
-	return pairwise(a, b, func(x, y int32) int32 { return x + y })
-}
-
-// Sub performs pair-wise subtraction on two matrices with wide results.
-func Sub(a, b *tensor.MatrixI8) *tensor.MatrixI32 {
-	return pairwise(a, b, func(x, y int32) int32 { return x - y })
-}
-
-// Mul performs pair-wise multiplication on two matrices with wide results.
-func Mul(a, b *tensor.MatrixI8) *tensor.MatrixI32 {
-	return pairwise(a, b, func(x, y int32) int32 { return x * y })
-}
-
-func pairwise(a, b *tensor.MatrixI8, f func(x, y int32) int32) *tensor.MatrixI32 {
-	if a.Rows != b.Rows || a.Cols != b.Cols {
-		panic(fmt.Sprintf("edgetpu: pairwise shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := tensor.NewI32(a.Rows, a.Cols)
+	checkPairwise(a, b)
+	out := tensor.GetI32ForOverwrite(a.Rows, a.Cols)
 	for r := 0; r < a.Rows; r++ {
 		ra, rb, ro := a.Row(r), b.Row(r), out.Row(r)
-		for i := range ra {
-			ro[i] = f(int32(ra[i]), int32(rb[i]))
+		rb, ro = rb[:len(ra)], ro[:len(ra)]
+		for i, v := range ra {
+			ro[i] = int32(v) + int32(rb[i])
 		}
 	}
 	return out
 }
 
+// Sub performs pair-wise subtraction on two matrices with wide results.
+func Sub(a, b *tensor.MatrixI8) *tensor.MatrixI32 {
+	checkPairwise(a, b)
+	out := tensor.GetI32ForOverwrite(a.Rows, a.Cols)
+	for r := 0; r < a.Rows; r++ {
+		ra, rb, ro := a.Row(r), b.Row(r), out.Row(r)
+		rb, ro = rb[:len(ra)], ro[:len(ra)]
+		for i, v := range ra {
+			ro[i] = int32(v) - int32(rb[i])
+		}
+	}
+	return out
+}
+
+// Mul performs pair-wise multiplication on two matrices with wide results.
+func Mul(a, b *tensor.MatrixI8) *tensor.MatrixI32 {
+	checkPairwise(a, b)
+	out := tensor.GetI32ForOverwrite(a.Rows, a.Cols)
+	for r := 0; r < a.Rows; r++ {
+		ra, rb, ro := a.Row(r), b.Row(r), out.Row(r)
+		rb, ro = rb[:len(ra)], ro[:len(ra)]
+		for i, v := range ra {
+			ro[i] = int32(v) * int32(rb[i])
+		}
+	}
+	return out
+}
+
+func checkPairwise(a, b *tensor.MatrixI8) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("edgetpu: pairwise shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
 // Crop removes all elements outside the given sub-matrix and returns
-// the sub-matrix (Table 1).
+// the sub-matrix (Table 1): one row-copy pass straight into a pooled
+// destination (the former View().Clone() walked the target twice —
+// once zeroing, once copying).
 func Crop(in *tensor.MatrixI8, r0, c0, rows, cols int) *tensor.MatrixI8 {
-	return in.View(r0, c0, rows, cols).Clone()
+	v := in.View(r0, c0, rows, cols) // bounds check; no copy
+	out := tensor.GetI8ForOverwrite(rows, cols)
+	for r := 0; r < rows; r++ {
+		copy(out.Row(r), v.Row(r))
+	}
+	return out
 }
 
 // Ext pads a matrix to the target dimensionality and returns the
-// padded matrix (Table 1).
+// padded (pooled) matrix (Table 1).
 func Ext(in *tensor.MatrixI8, rows, cols int) *tensor.MatrixI8 {
-	return in.Pad(rows, cols)
+	if rows < in.Rows || cols < in.Cols {
+		panic(fmt.Sprintf("tensor: Pad target %dx%d smaller than %dx%d", rows, cols, in.Rows, in.Cols))
+	}
+	out := tensor.GetI8(rows, cols) // zeroed: the padding
+	for r := 0; r < in.Rows; r++ {
+		copy(out.Row(r)[:in.Cols], in.Row(r))
+	}
+	return out
 }
 
 // MeanSum returns the exact element sum and count for the mean
 // instruction. The device reports the average; GPTPU's CPU-side
 // aggregation recombines tile sums so it keeps the wide numerator
-// (paper section 6.2.1), which this API exposes directly.
+// (paper section 6.2.1), which this API exposes directly. The sum
+// runs in four int32 lanes per bounded chunk before widening — exact,
+// order-independent integer addition.
 func MeanSum(in *tensor.MatrixI8) (sum int64, count int) {
+	// 1<<16 elements per int32-lane pass keeps each lane's magnitude
+	// under 2^21, far from wrapping — the exactness bound that lets the
+	// narrow lanes widen to int64 only once per chunk.
+	const chunk = 1 << 16
 	for r := 0; r < in.Rows; r++ {
-		for _, v := range in.Row(r) {
-			sum += int64(v)
+		row := in.Row(r)
+		for len(row) > chunk {
+			sum += sumLanesI8(row[:chunk])
+			row = row[chunk:]
 		}
+		sum += sumLanesI8(row)
 	}
 	return sum, in.Elems()
 }
 
-// MaxVal finds the maximum value within a matrix (Table 1).
+// sumLanesI8 sums up to 1<<16 int8 values in four int32 lanes.
+func sumLanesI8(c []int8) int64 {
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+4 <= len(c); i += 4 {
+		s0 += int32(c[i])
+		s1 += int32(c[i+1])
+		s2 += int32(c[i+2])
+		s3 += int32(c[i+3])
+	}
+	for ; i < len(c); i++ {
+		s0 += int32(c[i])
+	}
+	return int64(s0) + int64(s1) + int64(s2) + int64(s3)
+}
+
+// MaxVal finds the maximum value within a matrix (Table 1). The
+// bounds-check-free range scan is already optimal here — multi-lane
+// variants measured slower on the reference host (the compare-move
+// chain retires one element per cycle either way), so the reference
+// loop is kept as-is.
 func MaxVal(in *tensor.MatrixI8) int8 {
 	if in.Elems() == 0 {
 		panic("edgetpu: max of empty matrix")
@@ -160,18 +238,15 @@ func MaxVal(in *tensor.MatrixI8) int8 {
 // TanhLUT applies the tanh activation element-wise via the device's
 // fixed-point lookup-table semantics: inputs are dequantized with
 // inScale, tanh is applied, and outputs are requantized with scale
-// QMax (tanh's range is [-1, 1]).
+// QMax (tanh's range is [-1, 1]). The 256-entry LUT is cached by
+// scale (tanhTableFor), so steady-state tiles pay only the table
+// walk.
 func TanhLUT(in *tensor.MatrixI8, inScale float32) *tensor.MatrixI8 {
-	out := tensor.NewI8(in.Rows, in.Cols)
-	// 256-entry LUT, exactly how low-precision accelerators realize
-	// activations.
-	var lut [256]int8
-	for i := 0; i < 256; i++ {
-		v := float64(int8(i)) / float64(inScale)
-		lut[i] = quant.SaturateI8(int32(math.RoundToEven(math.Tanh(v) * quant.QMax)))
-	}
+	lut := tanhTableFor(inScale)
+	out := tensor.GetI8ForOverwrite(in.Rows, in.Cols)
 	for r := 0; r < in.Rows; r++ {
 		src, dst := in.Row(r), out.Row(r)
+		dst = dst[:len(src)]
 		for i, v := range src {
 			dst[i] = lut[uint8(v)]
 		}
@@ -180,11 +255,13 @@ func TanhLUT(in *tensor.MatrixI8, inScale float32) *tensor.MatrixI8 {
 }
 
 // ReLU leaves only non-negative values on a matrix (Table 1's
-// description of ReLu).
+// description of ReLu). The (pooled) output arrives zeroed, so only
+// positive entries copy.
 func ReLU(in *tensor.MatrixI8) *tensor.MatrixI8 {
-	out := tensor.NewI8(in.Rows, in.Cols)
+	out := tensor.GetI8(in.Rows, in.Cols)
 	for r := 0; r < in.Rows; r++ {
 		src, dst := in.Row(r), out.Row(r)
+		dst = dst[:len(src)]
 		for i, v := range src {
 			if v > 0 {
 				dst[i] = v

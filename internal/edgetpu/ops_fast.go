@@ -1,0 +1,421 @@
+package edgetpu
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Blocked inner loops for the hot instructions. Everything in this
+// file is bit-identical to the reference kernels in ops_ref.go —
+// int32/int64 addition is exact and commutative, so splitting an
+// accumulation across unrolled lanes cannot change the result — and
+// the equivalence suite in equiv_test.go pins that property under
+// randomized shapes, strides and edge padding.
+//
+// The techniques are the standard BLAS-style ones, scaled to int8:
+//
+//   - dot products over contiguous []int8 rows with 4 independent
+//     int32 accumulators, 8-wide unrolled, so the CPU pipelines the
+//     multiply-adds instead of serializing on one register;
+//   - operand reuse across output channels: dot4I8 streams one window
+//     against four kernels per pass, quartering input loads (the
+//     register-tiling step of a blocked GEMM);
+//   - a contiguous-window fast path for the GEMM-as-strided-conv2D
+//     configuration tpuGemm emits (kernel width == input width ==
+//     stride: every window is one flat []int8 run);
+//   - a bias-packed dot product for the Conv2DGemm panel form: two
+//     exact multiply-adds per 64-bit integer multiply (swarDot),
+//     halving the multiplier-port bound of the scalar loop;
+//   - a stride-1 row-axpy path for stencil convolutions, turning the
+//     per-output gather into sequential accumulate sweeps, with all
+//     nine taps of the common 3x3 stencil fused into one pass.
+
+// dotI8 returns the int32 dot product of a and b (length of a; b must
+// be at least as long). Four accumulator lanes, 8-wide unrolled.
+func dotI8(a, b []int8) int32 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s0 += int32(a[i])*int32(b[i]) + int32(a[i+4])*int32(b[i+4])
+		s1 += int32(a[i+1])*int32(b[i+1]) + int32(a[i+5])*int32(b[i+5])
+		s2 += int32(a[i+2])*int32(b[i+2]) + int32(a[i+6])*int32(b[i+6])
+		s3 += int32(a[i+3])*int32(b[i+3]) + int32(a[i+7])*int32(b[i+7])
+	}
+	for ; i < n; i++ {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// dot4I8 returns the dot products of w against four operands in one
+// pass, loading each element of w once.
+func dot4I8(w, k0, k1, k2, k3 []int8) (s0, s1, s2, s3 int32) {
+	n := len(w)
+	k0, k1, k2, k3 = k0[:n], k1[:n], k2[:n], k3[:n]
+	for q, v := range w {
+		vv := int32(v)
+		s0 += vv * int32(k0[q])
+		s1 += vv * int32(k1[q])
+		s2 += vv * int32(k2[q])
+		s3 += vv * int32(k3[q])
+	}
+	return
+}
+
+// axpyI8 accumulates acc[j] += v * src[j]; src must be at least as
+// long as acc. 4-wide unrolled: the iterations are independent, so
+// unrolling lets the multiply-adds pipeline instead of waiting on the
+// loop counter.
+func axpyI8(acc []int32, v int32, src []int8) {
+	n := len(acc)
+	src = src[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		acc[i] += v * int32(src[i])
+		acc[i+1] += v * int32(src[i+1])
+		acc[i+2] += v * int32(src[i+2])
+		acc[i+3] += v * int32(src[i+3])
+	}
+	for ; i < n; i++ {
+		acc[i] += v * int32(src[i])
+	}
+}
+
+// contigWindows reports whether the conv2D configuration produces one
+// output column whose windows are flat contiguous runs of in.Data: the
+// kernel spans the full (compact) input width, so window (i, 0) is the
+// byte range [i*sr*cols, (i*sr+kRows)*cols) clipped at the input's
+// end. This is exactly the layout tpuGemm's GEMM-as-strided-conv2D
+// emits (each padded row of A is one s x s block, each kernel one s x
+// s column block of B).
+func contigWindows(in *tensor.MatrixI8, k *tensor.MatrixI8, strideC int) bool {
+	return in.Stride == in.Cols && k.Stride == k.Cols &&
+		k.Cols == in.Cols && strideC >= in.Cols && in.Cols > 0
+}
+
+// conv2DContig computes every channel of a contiguous-window conv2D,
+// register-tiling four kernels per input pass.
+func conv2DContig(in *tensor.MatrixI8, kernels []*tensor.MatrixI8, strideR int, outs []*tensor.MatrixI32) {
+	cols := in.Cols
+	kRows := kernels[0].Rows
+	outR := (in.Rows + strideR - 1) / strideR
+	nch := len(kernels)
+	for i := 0; i < outR; i++ {
+		base := i * strideR
+		rEnd := base + kRows
+		if rEnd > in.Rows {
+			rEnd = in.Rows
+		}
+		win := in.Data[base*cols : rEnd*cols]
+		wl := len(win)
+		ch := 0
+		for ; ch+4 <= nch; ch += 4 {
+			s0, s1, s2, s3 := dot4I8(win,
+				kernels[ch].Data[:wl], kernels[ch+1].Data[:wl],
+				kernels[ch+2].Data[:wl], kernels[ch+3].Data[:wl])
+			outs[ch].Data[i] = s0
+			outs[ch+1].Data[i] = s1
+			outs[ch+2].Data[i] = s2
+			outs[ch+3].Data[i] = s3
+		}
+		for ; ch < nch; ch++ {
+			outs[ch].Data[i] = dotI8(win, kernels[ch].Data[:wl])
+		}
+	}
+}
+
+// conv3x3RowI8 accumulates one interior output row of a 3x3 stencil
+// in a single pass: all nine taps fuse, so the accumulator loads and
+// stores once per element instead of once per tap. The three input
+// rows must extend two elements past acc.
+func conv3x3RowI8(acc []int32, r0, r1, r2 []int8, k0, k1, k2 []int8) {
+	n := len(acc)
+	r0, r1, r2 = r0[:n+2:n+2], r1[:n+2:n+2], r2[:n+2:n+2]
+	a0, a1, a2 := int32(k0[0]), int32(k0[1]), int32(k0[2])
+	b0, b1, b2 := int32(k1[0]), int32(k1[1]), int32(k1[2])
+	c0, c1, c2 := int32(k2[0]), int32(k2[1]), int32(k2[2])
+	for j := 0; j < n; j++ {
+		acc[j] += a0*int32(r0[j]) + a1*int32(r0[j+1]) + a2*int32(r0[j+2]) +
+			b0*int32(r1[j]) + b1*int32(r1[j+1]) + b2*int32(r1[j+2]) +
+			c0*int32(r2[j]) + c1*int32(r2[j+1]) + c2*int32(r2[j+2])
+	}
+}
+
+// conv2DStride1 computes one channel of an unstrided conv2D by
+// row-axpy sweeps: for every kernel element (p, q), the contiguous run
+// in[i+p][q:] scaled by k[p][q] accumulates into output row i. The
+// common 3x3 stencil runs all nine taps fused per interior output row
+// (conv3x3RowI8) with scalar right-edge tails; other shapes and the
+// bottom edge fall back to one axpy per tap. out must arrive zeroed
+// (GetI32 guarantees it).
+func conv2DStride1(in, k *tensor.MatrixI8, out *tensor.MatrixI32) {
+	outR, outC := out.Rows, out.Cols
+	three := k.Rows == 3 && k.Cols == 3 && in.Cols >= 3
+	lim2 := in.Cols - 2
+	if lim2 > outC {
+		lim2 = outC
+	}
+	for i := 0; i < outR; i++ {
+		accRow := out.Row(i)
+		pMax := k.Rows
+		if i+pMax > in.Rows {
+			pMax = in.Rows - i
+		}
+		if three && pMax == 3 {
+			conv3x3RowI8(accRow[:lim2], in.Row(i), in.Row(i+1), in.Row(i+2),
+				k.Row(0), k.Row(1), k.Row(2))
+			// Right edge: only taps q < 2 can reach past lim2 (the
+			// q=2 tap's limit is exactly lim2).
+			for p := 0; p < 3; p++ {
+				inRow := in.Row(i + p)
+				kRow := k.Row(p)
+				for q := 0; q < 2; q++ {
+					lim := in.Cols - q
+					if lim > outC {
+						lim = outC
+					}
+					v := int32(kRow[q])
+					for j := lim2; j < lim; j++ {
+						accRow[j] += v * int32(inRow[j+q])
+					}
+				}
+			}
+			continue
+		}
+		for p := 0; p < pMax; p++ {
+			inRow := in.Row(i + p)
+			kRow := k.Row(p)
+			for q, kv := range kRow {
+				if q >= in.Cols {
+					break
+				}
+				lim := in.Cols - q
+				if lim > outC {
+					lim = outC
+				}
+				axpyI8(accRow[:lim], int32(kv), inRow[q:])
+			}
+		}
+	}
+}
+
+// conv2DGeneral computes one channel of an arbitrarily strided conv2D,
+// with the innermost reduction running as contiguous row-segment dot
+// products.
+func conv2DGeneral(in, k *tensor.MatrixI8, out *tensor.MatrixI32, strideR, strideC int) {
+	for i := 0; i < out.Rows; i++ {
+		baseR := i * strideR
+		pMax := k.Rows
+		if baseR+pMax > in.Rows {
+			pMax = in.Rows - baseR
+		}
+		oRow := out.Row(i)
+		for j := 0; j < out.Cols; j++ {
+			baseC := j * strideC
+			maxQ := k.Cols
+			if baseC+maxQ > in.Cols {
+				maxQ = in.Cols - baseC
+			}
+			var acc int32
+			for p := 0; p < pMax; p++ {
+				acc += dotI8(in.Row(baseR + p)[baseC:baseC+maxQ], k.Row(p))
+			}
+			oRow[j] = acc
+		}
+	}
+}
+
+// swarScratch holds the packed biased-operand panels Conv2DGemm
+// builds per call; pooled because the hot GEMM stream calls it once
+// per instruction.
+type swarScratch struct {
+	pw, pk []uint64
+	sw, sk []int64
+}
+
+var swarPool = sync.Pool{New: func() any { return new(swarScratch) }}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// packBiased packs adjacent element pairs of src into 32-bit lanes of
+// dst after the +128 bias to [0, 255] (an odd tail pairs with the
+// bias value itself, i.e. a zero element), and returns the sum of the
+// biased elements over the full padded extent. When swap is set the
+// pair order inside each word is reversed — the kernel-side layout
+// that makes the 64-bit product's middle lane a two-element dot (see
+// swarDot).
+func packBiased(dst []uint64, src []int8, swap bool) int64 {
+	var sum int64
+	i, j := 0, 0
+	for ; i+2 <= len(src); i, j = i+2, j+1 {
+		x0 := uint64(int64(src[i]) + 128)
+		x1 := uint64(int64(src[i+1]) + 128)
+		sum += int64(x0 + x1)
+		if swap {
+			dst[j] = x1 | x0<<32
+		} else {
+			dst[j] = x0 | x1<<32
+		}
+	}
+	if i < len(src) {
+		x0 := uint64(int64(src[i]) + 128)
+		sum += int64(x0) + 128
+		if swap {
+			dst[j] = 128 | x0<<32
+		} else {
+			dst[j] = x0 | 128<<32
+		}
+	}
+	return sum
+}
+
+// swarDot is the packed-operand dot product: with a = x0 + x1·2³² and
+// b = c1 + c0·2³² (the swapped kernel packing), the 64-bit truncated
+// product is
+//
+//	a·b mod 2⁶⁴ = x0·c1 + (x0·c0 + x1·c1)·2³²
+//
+// — the x1·c0·2⁶⁴ term vanishes exactly, the low lane x0·c1 ≤ 255²
+// never carries into bit 32, and the middle lane x0·c0 + x1·c1 ≤
+// 2·255² fits its 32 bits. So one integer multiply yields two exact
+// multiply-adds of the biased dot, halving the multiplier-port bound
+// that limits the plain int8 loop. Lanes accumulate in a uint64
+// (half ≤ 2²⁵ rows stay exact), and the caller removes the bias
+// algebraically.
+func swarDot(a, b []uint64) int64 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1 uint64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i] >> 32
+		s1 += a[i+1] * b[i+1] >> 32
+		s0 += a[i+2] * b[i+2] >> 32
+		s1 += a[i+3] * b[i+3] >> 32
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i] >> 32
+	}
+	return int64(s0 + s1)
+}
+
+// Conv2DGemm runs the conv2D instruction in its GEMM-as-strided-conv
+// configuration without materializing per-channel kernel views: row i
+// of wins is one flattened s x s window (a padded row of A), row ch of
+// kers one flattened s x s kernel (a column block of B), and
+//
+//	out[i][ch] = dot(wins.Row(i), kers.Row(ch))
+//
+// — bit-identical to Conv2D(stacked, kernelViews, s, s) per channel,
+// which the equivalence suite pins. The inner product runs on
+// bias-packed operands (two multiply-adds per integer multiply, see
+// swarDot); exactness is restored per output element from the row
+// sums the packing pass collects:
+//
+//	Σ x·c = Σ (x'−128)(c'−128) = Σ x'c' − 128·Σx' − 128·Σc' + n·2¹⁴
+//
+// with every term exact in int64. The result matrix is pooled; pass
+// it to tensor.PutI32 when the accumulators have been consumed.
+func Conv2DGemm(wins, kers *tensor.MatrixI8) *tensor.MatrixI32 {
+	if wins.Cols != kers.Cols {
+		panic("edgetpu: Conv2DGemm operand width mismatch")
+	}
+	nw, nch, n := wins.Rows, kers.Rows, wins.Cols
+	out := tensor.GetI32ForOverwrite(nw, nch)
+	half := (n + 1) / 2
+	sc := swarPool.Get().(*swarScratch)
+	sc.pw, sc.pk = growU64(sc.pw, nw*half), growU64(sc.pk, nch*half)
+	sc.sw, sc.sk = growI64(sc.sw, nw), growI64(sc.sk, nch)
+	for i := 0; i < nw; i++ {
+		sc.sw[i] = packBiased(sc.pw[i*half:(i+1)*half], wins.Row(i), false)
+	}
+	for ch := 0; ch < nch; ch++ {
+		sc.sk[ch] = packBiased(sc.pk[ch*half:(ch+1)*half], kers.Row(ch), true)
+	}
+	base := int64(2*half) * 16384
+	for i := 0; i < nw; i++ {
+		pwr := sc.pw[i*half : (i+1)*half]
+		corrW := base - 128*sc.sw[i]
+		oRow := out.Row(i)
+		for ch := 0; ch < nch; ch++ {
+			oRow[ch] = int32(swarDot(pwr, sc.pk[ch*half:(ch+1)*half]) + corrW - 128*sc.sk[ch])
+		}
+	}
+	swarPool.Put(sc)
+	return out
+}
+
+// fullyConnectedInto writes the FullyConnected accumulators into dst
+// (length weights.Rows), streaming the input vector against four
+// weight rows per pass.
+func fullyConnectedInto(dst []int32, weights *tensor.MatrixI8, vec []int8) {
+	r := 0
+	for ; r+4 <= weights.Rows; r += 4 {
+		s0, s1, s2, s3 := dot4I8(vec,
+			weights.Row(r), weights.Row(r+1), weights.Row(r+2), weights.Row(r+3))
+		dst[r], dst[r+1], dst[r+2], dst[r+3] = s0, s1, s2, s3
+	}
+	for ; r < weights.Rows; r++ {
+		dst[r] = dotI8(vec, weights.Row(r))
+	}
+}
+
+// tanhTable is one realized 256-entry tanh lookup table.
+type tanhTable [256]int8
+
+// tanhCache memoizes LUTs by input-scale bits. Streams apply tanh tile
+// by tile at one or two distinct scales, so rebuilding the table (256
+// math.Tanh calls) per tile dominated the instruction; the cache makes
+// every tile after the first a plain table walk. Capped so a
+// pathological scale-per-call workload cannot grow it unboundedly.
+var tanhCache = struct {
+	mu sync.RWMutex
+	m  map[uint32]*tanhTable
+}{m: make(map[uint32]*tanhTable)}
+
+const tanhCacheCap = 64
+
+// tanhTableFor returns the LUT for inScale, building and caching it on
+// first use. Safe for concurrent use by dispatch workers.
+func tanhTableFor(inScale float32) *tanhTable {
+	key := math.Float32bits(inScale)
+	tanhCache.mu.RLock()
+	t := tanhCache.m[key]
+	tanhCache.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	t = new(tanhTable)
+	for i := 0; i < 256; i++ {
+		v := float64(int8(i)) / float64(inScale)
+		t[i] = quant.SaturateI8(int32(math.RoundToEven(math.Tanh(v) * quant.QMax)))
+	}
+	tanhCache.mu.Lock()
+	if cached := tanhCache.m[key]; cached != nil {
+		t = cached
+	} else {
+		if len(tanhCache.m) >= tanhCacheCap {
+			tanhCache.m = make(map[uint32]*tanhTable, tanhCacheCap)
+		}
+		tanhCache.m[key] = t
+	}
+	tanhCache.mu.Unlock()
+	return t
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -287,10 +288,27 @@ func DecodeFrame(r io.Reader, max uint32) (*Frame, error) {
 }
 
 // appendMatrix appends the wire encoding of m (rows, cols, row-major
-// float32 bits) to dst.
+// float32 bits) to dst: one grow to the exact final size up front (no
+// doubling-and-recopy churn on megabyte frames), then big-endian
+// stores over one contiguous pass of the backing array — no per-row
+// intermediate buffers.
 func appendMatrix(dst []byte, m *tensor.Matrix) []byte {
+	need := 8 + m.Elems()*4
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Rows))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Cols))
+	if m.IsCompact() || m.Rows == 1 {
+		// One contiguous pass over the backing array; the appends above
+		// reserved the exact final size, so these inline to plain stores.
+		for _, v := range m.Data[:m.Rows*m.Cols] {
+			dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(v))
+		}
+		return dst
+	}
 	for r := 0; r < m.Rows; r++ {
 		for _, v := range m.Row(r) {
 			dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(v))
@@ -301,7 +319,9 @@ func appendMatrix(dst []byte, m *tensor.Matrix) []byte {
 
 // decodeMatrix decodes one matrix from buf, returning the matrix and
 // the remaining bytes. Dimension and length claims are validated
-// before any allocation proportional to them.
+// before any allocation proportional to them; the payload then loads
+// through one contiguous window (tensor.New rows are dense, so there
+// is no per-row staging).
 func decodeMatrix(buf []byte) (*tensor.Matrix, []byte, error) {
 	if len(buf) < 8 {
 		return nil, nil, fmt.Errorf("%w: truncated matrix header", ErrBadRequest)
@@ -318,8 +338,9 @@ func decodeMatrix(buf []byte) (*tensor.Matrix, []byte, error) {
 			ErrBadRequest, rows, cols, need, len(buf)-8)
 	}
 	m := tensor.New(int(rows), int(cols))
+	src := buf[8 : 8+need]
 	for i := range m.Data {
-		m.Data[i] = math.Float32frombits(binary.BigEndian.Uint32(buf[8+i*4:]))
+		m.Data[i] = math.Float32frombits(binary.BigEndian.Uint32(src[i*4:]))
 	}
 	return m, buf[8+need:], nil
 }
@@ -391,4 +412,31 @@ func decodeError(payload []byte) (uint16, string, error) {
 		return 0, "", fmt.Errorf("%w: truncated error payload", ErrBadRequest)
 	}
 	return binary.BigEndian.Uint16(payload[0:]), string(payload[2:]), nil
+}
+
+// CodecThroughput measures the matrix frame codec on m over the given
+// wall budget, returning encode and decode throughput in GB/s. The
+// serve benchmark reports it alongside the serving rows so codec
+// regressions are visible next to the RPS they would erode.
+func CodecThroughput(m *tensor.Matrix, budget time.Duration) (encGBs, decGBs float64) {
+	enc := appendMatrix(nil, m)
+	bytes := float64(len(enc))
+	measure := func(f func()) float64 {
+		f() // warmup
+		start := time.Now()
+		iters := 0
+		for time.Since(start) < budget {
+			f()
+			iters++
+		}
+		return bytes * float64(iters) / float64(time.Since(start).Nanoseconds())
+	}
+	buf := make([]byte, 0, len(enc))
+	encGBs = measure(func() { buf = appendMatrix(buf[:0], m) })
+	decGBs = measure(func() {
+		if _, _, err := decodeMatrix(enc); err != nil {
+			panic(err)
+		}
+	})
+	return encGBs, decGBs
 }

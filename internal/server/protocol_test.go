@@ -130,3 +130,72 @@ func TestDecodeFrameShortRead(t *testing.T) {
 		t.Fatal("empty stream decoded")
 	}
 }
+
+// TestMatrixCodecStridedAndAppend covers the appendMatrix fast path's
+// two non-trivial cases: encoding a non-compact view (per-row stores
+// into the reserved region) and appending after existing bytes
+// (offset arithmetic, in-place growth reuse).
+func TestMatrixCodecStridedAndAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	full := tensor.RandUniform(rng, 8, 10, -1, 1)
+	view := full.View(2, 3, 4, 5)
+	if view.IsCompact() {
+		t.Fatal("test needs a strided view")
+	}
+
+	prefix := []byte{0xAB, 0xCD}
+	enc := appendMatrix(append([]byte(nil), prefix...), view)
+	if !bytes.Equal(enc[:2], prefix) {
+		t.Fatal("appendMatrix clobbered existing bytes")
+	}
+	got, rest, err := decodeMatrix(enc[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if got.Rows != view.Rows || got.Cols != view.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, view.Rows, view.Cols)
+	}
+	for r := 0; r < view.Rows; r++ {
+		for c := 0; c < view.Cols; c++ {
+			if got.At(r, c) != view.At(r, c) {
+				t.Fatalf("[%d][%d] = %v want %v", r, c, got.At(r, c), view.At(r, c))
+			}
+		}
+	}
+
+	// Pre-grown destination: the append must reuse capacity in place.
+	dst := make([]byte, 0, 8+view.Elems()*4)
+	out := appendMatrix(dst, view)
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("appendMatrix reallocated despite sufficient capacity")
+	}
+}
+
+// BenchmarkMatrixCodec measures the serve path's matrix frame codec on
+// a paper-shaped 256x256 operand (256 KiB payload).
+func BenchmarkMatrixCodec(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	m := tensor.RandUniform(rng, 256, 256, -1, 1)
+	enc := appendMatrix(nil, m)
+	buf := make([]byte, 0, len(enc))
+
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(enc)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = appendMatrix(buf[:0], m)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(enc)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := decodeMatrix(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

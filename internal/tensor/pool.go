@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Tile-buffer pools. The dispatch engine's functional closures consume
+// one or more scratch matrices per instruction (wide accumulators,
+// requantized int8 tiles); at paper tile shapes a steady-state GEMM
+// stream retires thousands of instructions per second, so allocating
+// those buffers fresh makes the garbage collector a hot-path
+// participant. GetI8/GetI32 hand out recycled matrices from bucketed
+// sync.Pools instead.
+//
+// Ownership rules (see DESIGN.md "Kernel substrate"):
+//
+//   - A Get'd matrix is owned by the caller until it calls Put. Put
+//     transfers ownership back to the pool: the caller must not touch
+//     the matrix (or any view of it) afterwards.
+//   - Put is always optional. A matrix that escapes (returned to user
+//     code, cached, encoded) is simply dropped and collected normally.
+//   - Only compact matrices recycle. Put on a view (Stride != Cols) or
+//     on a matrix whose backing array did not come from the pool is a
+//     silent no-op, so callers never need to track provenance.
+//   - Get returns fully zeroed logical contents, exactly like NewI8 /
+//     NewI32, so pooled and fresh matrices are interchangeable.
+const (
+	// minPoolBits is the smallest recycled capacity (64 elements):
+	// below that, allocation is cheaper than pool bookkeeping.
+	minPoolBits = 6
+	// maxPoolBits caps recycled capacity at 1<<24 elements (16 Mi), so
+	// a single huge matrix cannot pin large buffers in every pool
+	// bucket indefinitely.
+	maxPoolBits = 24
+)
+
+var (
+	i8Pools  [maxPoolBits + 1]sync.Pool // bucket b holds *MatrixI8 with cap(Data) == 1<<b
+	i32Pools [maxPoolBits + 1]sync.Pool // bucket b holds *MatrixI32 with cap(Data) == 1<<b
+)
+
+// poolBucket returns the bucket index whose capacity 1<<b is the
+// smallest that fits n elements, or -1 when n is outside the pooled
+// range.
+func poolBucket(n int) int {
+	if n <= 0 || n > 1<<maxPoolBits {
+		return -1
+	}
+	b := bits.Len(uint(n - 1))
+	if b < minPoolBits {
+		b = minPoolBits
+	}
+	return b
+}
+
+// GetI8 returns a zeroed rows x cols int8 matrix, recycled from the
+// pool when a buffer of suitable capacity is available.
+func GetI8(rows, cols int) *MatrixI8 {
+	n := rows * cols
+	b := poolBucket(n)
+	if b < 0 {
+		return NewI8(rows, cols)
+	}
+	m, _ := i8Pools[b].Get().(*MatrixI8)
+	if m == nil {
+		return &MatrixI8{Rows: rows, Cols: cols, Stride: cols, Data: make([]int8, n, 1<<b)}
+	}
+	m.Rows, m.Cols, m.Stride = rows, cols, cols
+	m.Data = m.Data[:n]
+	clear(m.Data)
+	return m
+}
+
+// GetI8ForOverwrite is GetI8 without the zeroing pass: the returned
+// matrix may hold stale contents, so it is only for callers that
+// overwrite every logical element before reading any (a crop copy, a
+// LUT application). Saves one full memory sweep per tile on the hot
+// path.
+func GetI8ForOverwrite(rows, cols int) *MatrixI8 {
+	n := rows * cols
+	b := poolBucket(n)
+	if b < 0 {
+		return NewI8(rows, cols)
+	}
+	m, _ := i8Pools[b].Get().(*MatrixI8)
+	if m == nil {
+		return &MatrixI8{Rows: rows, Cols: cols, Stride: cols, Data: make([]int8, n, 1<<b)}
+	}
+	m.Rows, m.Cols, m.Stride = rows, cols, cols
+	m.Data = m.Data[:n]
+	return m
+}
+
+// GetI32ForOverwrite is GetI32 without the zeroing pass; same contract
+// as GetI8ForOverwrite.
+func GetI32ForOverwrite(rows, cols int) *MatrixI32 {
+	n := rows * cols
+	b := poolBucket(n)
+	if b < 0 {
+		return NewI32(rows, cols)
+	}
+	m, _ := i32Pools[b].Get().(*MatrixI32)
+	if m == nil {
+		return &MatrixI32{Rows: rows, Cols: cols, Stride: cols, Data: make([]int32, n, 1<<b)}
+	}
+	m.Rows, m.Cols, m.Stride = rows, cols, cols
+	m.Data = m.Data[:n]
+	return m
+}
+
+// PutI8 returns m to the pool. Safe to call with nil, views, or
+// foreign matrices (no-op); after a successful Put the caller must not
+// use m again.
+func PutI8(m *MatrixI8) {
+	if m == nil || m.Stride != m.Cols || m.Data == nil {
+		return
+	}
+	c := cap(m.Data)
+	if c&(c-1) != 0 { // only pool-shaped (power-of-two) capacities recycle
+		return
+	}
+	b := bits.Len(uint(c)) - 1
+	if b < minPoolBits || b > maxPoolBits {
+		return
+	}
+	m.Data = m.Data[:c]
+	i8Pools[b].Put(m)
+}
+
+// GetI32 returns a zeroed rows x cols int32 matrix, recycled from the
+// pool when a buffer of suitable capacity is available.
+func GetI32(rows, cols int) *MatrixI32 {
+	n := rows * cols
+	b := poolBucket(n)
+	if b < 0 {
+		return NewI32(rows, cols)
+	}
+	m, _ := i32Pools[b].Get().(*MatrixI32)
+	if m == nil {
+		return &MatrixI32{Rows: rows, Cols: cols, Stride: cols, Data: make([]int32, n, 1<<b)}
+	}
+	m.Rows, m.Cols, m.Stride = rows, cols, cols
+	m.Data = m.Data[:n]
+	clear(m.Data)
+	return m
+}
+
+// PutI32 returns m to the pool. Same contract as PutI8.
+func PutI32(m *MatrixI32) {
+	if m == nil || m.Stride != m.Cols || m.Data == nil {
+		return
+	}
+	c := cap(m.Data)
+	if c&(c-1) != 0 {
+		return
+	}
+	b := bits.Len(uint(c)) - 1
+	if b < minPoolBits || b > maxPoolBits {
+		return
+	}
+	m.Data = m.Data[:c]
+	i32Pools[b].Put(m)
+}

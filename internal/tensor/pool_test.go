@@ -1,0 +1,83 @@
+package tensor
+
+import "testing"
+
+func TestPoolRoundTripI8(t *testing.T) {
+	m := GetI8(7, 9)
+	if m.Rows != 7 || m.Cols != 9 || m.Stride != 9 || len(m.Data) != 63 {
+		t.Fatalf("GetI8 shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("GetI8 must return zeroed data")
+		}
+	}
+	for i := range m.Data {
+		m.Data[i] = int8(i)
+	}
+	PutI8(m)
+	// A recycled buffer of any prior contents must come back zeroed.
+	n := GetI8(5, 5)
+	for _, v := range n.Data {
+		if v != 0 {
+			t.Fatal("recycled GetI8 not zeroed")
+		}
+	}
+	PutI8(n)
+}
+
+func TestPoolRoundTripI32(t *testing.T) {
+	m := GetI32(128, 128)
+	m.Set(3, 4, 42)
+	PutI32(m)
+	n := GetI32(128, 128)
+	if n.At(3, 4) != 0 {
+		t.Fatal("recycled GetI32 not zeroed")
+	}
+	PutI32(n)
+}
+
+func TestPoolRejectsViews(t *testing.T) {
+	parent := GetI8(16, 16)
+	v := parent.View(2, 2, 4, 4)
+	PutI8(v) // view: must be a no-op, not corrupt the pool
+	got := GetI8(4, 4)
+	if got.Stride != 4 {
+		t.Fatalf("pool handed out a strided view: stride %d", got.Stride)
+	}
+	PutI8(parent)
+	PutI8(got)
+}
+
+func TestPoolNilAndHugeSafe(t *testing.T) {
+	PutI8(nil)
+	PutI32(nil)
+	big := GetI8(1<<13, 1<<13) // 2^26 elements: beyond maxPoolBits, plain alloc
+	if len(big.Data) != 1<<26 {
+		t.Fatal("huge GetI8 wrong size")
+	}
+	PutI8(big) // no-op (cap is pow2 but bucket out of range)
+	if GetI8(0, 0).Elems() != 0 {
+		t.Fatal("empty GetI8")
+	}
+}
+
+func TestPoolBucket(t *testing.T) {
+	cases := map[int]int{1: 6, 63: 6, 64: 6, 65: 7, 128: 7, 16384: 14, 1 << 24: 24}
+	for n, want := range cases {
+		if got := poolBucket(n); got != want {
+			t.Fatalf("poolBucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if poolBucket(0) != -1 || poolBucket(1<<24+1) != -1 {
+		t.Fatal("out-of-range bucket must be -1")
+	}
+}
+
+func BenchmarkGetPutI32Tile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := GetI32(128, 128)
+		PutI32(m)
+	}
+}
