@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race ci bench bench-json bench-serve-json bench-kernels bench-kernels-json serve-smoke chaos-smoke fuzz-smoke clean
+.PHONY: all build test vet race ci bench bench-json bench-serve-json bench-kernels bench-kernels-json serve-smoke chaos-smoke obs-smoke fuzz-smoke clean
 
 all: build
 
@@ -18,7 +18,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet race serve-smoke chaos-smoke fuzz-smoke bench-kernels
+ci: vet race serve-smoke chaos-smoke obs-smoke fuzz-smoke bench-kernels
 
 # serve-smoke builds the gptpu-serve daemon, boots it on an ephemeral
 # port, round-trips a client GEMM, and asserts a clean drain on
@@ -32,6 +32,14 @@ serve-smoke:
 # lost request IDs, deterministic virtual makespan for a fixed seed.
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/server
+
+# obs-smoke is the observability soak: a chaos daemon with tracing on
+# serves concurrent soak traffic, then the script asserts the stage
+# quantiles appear on /metrics, the flight dump parses and attributes
+# at least one request to a fault-triggered retry, the merged Chrome
+# trace carries request lanes, and tracing overhead stays in budget.
+obs-smoke:
+	GO="$(GO)" sh scripts/obs-smoke.sh
 
 # fuzz-smoke gives each fuzz target a short budget ('go test -fuzz'
 # accepts exactly one target per invocation, hence one line each):

@@ -242,6 +242,17 @@ func (x *Context) Enqueue(kernel func(op *Op)) *Task {
 	return x.c.Enqueue(func(s *core.Stream) { kernel(&Op{s: s}) })
 }
 
+// TaskObserver receives a task's dispatch-stage spans (queue wait,
+// device charge, functional exec) and fault retry events; the serving
+// layer threads a request's obs.Trace through here.
+type TaskObserver = core.TaskObserver
+
+// EnqueueObserved is Enqueue with a per-task observer (nil behaves
+// like Enqueue).
+func (x *Context) EnqueueObserved(obs TaskObserver, kernel func(op *Op)) *Task {
+	return x.c.EnqueueObserved(obs, func(s *core.Stream) { kernel(&Op{s: s}) })
+}
+
 // Sync blocks until all enqueued tasks complete (openctpu_sync).
 func (x *Context) Sync() error { return x.c.Sync() }
 

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -38,6 +39,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text|csv|json")
 	metricsOut := flag.String("metrics", "", "write the sweep-wide telemetry snapshot to this file (Prometheus text; expvar JSON if the name ends in .json)")
 	traceOut := flag.String("trace", "", "write the merged Chrome trace of every context to this file")
+	pprofAddr := flag.String("pprof", "", "serve live metrics and net/http/pprof on this address while the sweep runs (e.g. :6060)")
 	var ff fault.Flags
 	ff.Register(flag.CommandLine)
 	flag.Parse()
@@ -76,12 +78,24 @@ func main() {
 	}
 
 	var reg *telemetry.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *pprofAddr != "" {
 		reg = telemetry.NewRegistry()
 		gptpu.SetDefaultMetrics(reg)
 	}
 	if *traceOut != "" {
 		gptpu.SetDefaultTrace(true)
+	}
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", reg.Handler())
+		telemetry.AttachPprof(mux)
+		ps, err := telemetry.ServeMux(*pprofAddr, mux)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-bench: pprof:", err)
+			os.Exit(1)
+		}
+		defer ps.Close()
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", ps.Addr())
 	}
 
 	opts := bench.Opts{Full: *full, Workers: *workers}
@@ -116,7 +130,7 @@ func main() {
 		}
 	}
 
-	if reg != nil {
+	if reg != nil && *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gptpu-bench:", err)

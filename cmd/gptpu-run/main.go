@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -48,6 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	traceOut := flag.String("trace", "", "write Chrome trace JSON to this file")
 	metricsOut := flag.String("metrics", "", "write a telemetry snapshot to this file (Prometheus text; expvar JSON if the name ends in .json)")
+	pprofAddr := flag.String("pprof", "", "serve live metrics and net/http/pprof on this address while the run executes (e.g. :6060)")
 	retryBudget := flag.Int("retry-budget", 0, "dispatch retries per instruction under faults (0 = default 8)")
 	var ff fault.Flags
 	ff.Register(flag.CommandLine)
@@ -67,6 +69,19 @@ func main() {
 		Fault:           fc,
 		RetryBudget:     *retryBudget,
 	})
+
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", ctx.Metrics().Handler())
+		telemetry.AttachPprof(mux)
+		ps, err := telemetry.ServeMux(*pprofAddr, mux)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-run: pprof:", err)
+			os.Exit(1)
+		}
+		defer ps.Close()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", ps.Addr())
+	}
 
 	tpuM, cpuM, err := run(*app, ctx, *n, *iters, *seed, *functional)
 	if err != nil {

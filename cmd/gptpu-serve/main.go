@@ -7,32 +7,60 @@
 //	gptpu-serve                          # serve on :8477, 1 device
 //	gptpu-serve -addr :0 -devices 8      # ephemeral port, 8 TPUs
 //	gptpu-serve -metrics :9090           # mount the HTTP metrics exporter
+//	gptpu-serve -metrics :9090 -pprof    # ... plus net/http/pprof
 //	gptpu-serve -check 127.0.0.1:8477    # client mode: GEMM round trip
+//	gptpu-serve -soak 127.0.0.1:8477     # client mode: traffic generator
 //
 // The daemon prints one "listening on <addr>" line once the socket is
 // bound (scripts parse it to discover ephemeral ports) and drains
 // gracefully on SIGINT/SIGTERM: in-flight requests finish, new ones
 // are refused with a shutting-down reply, then the runtime retires.
 //
+// Observability: per-request tracing is on by default (-obs=false
+// disables it). The flight recorder keeps the last -flight completed
+// request waterfalls plus snapshots of in-flight requests taken at
+// fault and drain moments; SIGQUIT dumps it to stderr without
+// stopping the daemon, -flight-dump writes it to a file at exit, and
+// /debug/flight serves it from the metrics listener. -trace merges
+// per-request wall-clock lanes with the runtime's virtual-time device
+// timelines into one Chrome trace at exit.
+//
 // -check connects as a client, round-trips a small GEMM, verifies the
 // result against a CPU reference, and exits 0/1 — the probe
 // `make serve-smoke` (and any external health checker) uses.
+//
+// -soak connects -soak-clients concurrent clients that each issue
+// -soak-reqs small GEMMs and reports throughput; `make obs-smoke`
+// uses it to exercise the serving path under chaos.
+//
+// -flight-verify parses a flight-dump JSON file, checks its internal
+// consistency (every span closed or marked in-flight, well-formed
+// trace IDs), and with -expect-fault additionally requires at least
+// one request whose latency is attributed to a fault-triggered retry.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	gptpu "repro"
 	"repro/internal/blas"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -43,20 +71,48 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 500*time.Microsecond, "GEMM micro-batch coalescing window (negative disables batching)")
 	batchMax := flag.Int("batch-max", 16, "micro-batch flushes early at this many coalesced requests")
 	metricsAddr := flag.String("metrics", "", "also serve the telemetry HTTP exporter on this address (e.g. :9090)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -metrics listener")
 	check := flag.String("check", "", "client mode: round-trip a GEMM against the daemon at this address and exit")
 	retryBudget := flag.Int("retry-budget", 0, "runtime dispatch retries per instruction under faults (0 = default 8)")
+	obsOn := flag.Bool("obs", true, "per-request tracing, stage quantiles, and the flight recorder")
+	flightN := flag.Int("flight", 256, "flight recorder capacity: completed request waterfalls kept for postmortems")
+	flightDump := flag.String("flight-dump", "", "write the flight recorder as JSON to this file at exit")
+	tracePath := flag.String("trace", "", "write a merged Chrome trace (device timelines + request lanes) to this file at exit")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	soak := flag.String("soak", "", "client mode: drive GEMM traffic against the daemon at this address and exit")
+	soakClients := flag.Int("soak-clients", 4, "concurrent clients in -soak mode")
+	soakReqs := flag.Int("soak-reqs", 200, "requests per client in -soak mode")
+	flightVerify := flag.String("flight-verify", "", "verify a flight-dump JSON file for internal consistency and exit")
+	expectFault := flag.Bool("expect-fault", false, "with -flight-verify: require at least one fault-attributed request")
 	var ff fault.Flags
 	ff.Register(flag.CommandLine)
 	flag.Parse()
 
+	logger := newLogger(*logJSON)
+
+	if *flightVerify != "" {
+		os.Exit(runFlightVerify(*flightVerify, *expectFault))
+	}
 	if *check != "" {
 		os.Exit(runCheck(*check))
+	}
+	if *soak != "" {
+		os.Exit(runSoak(*soak, *soakClients, *soakReqs))
 	}
 
 	fc, err := ff.Config()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gptpu-serve:", err)
 		os.Exit(2)
+	}
+
+	if *tracePath != "" {
+		gptpu.SetDefaultTrace(true)
+	}
+
+	var rec *obs.Recorder
+	if *obsOn {
+		rec = obs.New(obs.Config{Capacity: *flightN})
 	}
 
 	reg := telemetry.NewRegistry()
@@ -69,6 +125,8 @@ func main() {
 		Metrics:          reg,
 		Fault:            fc,
 		RetryBudget:      *retryBudget,
+		Obs:              rec,
+		Logger:           logger,
 	})
 	if err := srv.Listen(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "gptpu-serve:", err)
@@ -78,13 +136,41 @@ func main() {
 		srv.Addr(), *devices, *maxInFlight, *batchWindow)
 
 	if *metricsAddr != "" {
-		ms, err := telemetry.Serve(*metricsAddr, reg)
+		mux := http.NewServeMux()
+		mux.Handle("/", reg.Handler())
+		if rec != nil {
+			mux.Handle("/debug/flight", rec.Handler())
+		}
+		if *pprofOn {
+			telemetry.AttachPprof(mux)
+		}
+		ms, err := telemetry.ServeMux(*metricsAddr, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gptpu-serve: metrics:", err)
 			os.Exit(1)
 		}
 		defer ms.Close()
 		fmt.Printf("gptpu-serve: metrics on http://%s/metrics\n", ms.Addr())
+		if *pprofOn {
+			fmt.Printf("gptpu-serve: pprof on http://%s/debug/pprof/\n", ms.Addr())
+		}
+	}
+
+	// SIGQUIT snapshots the flight recorder to stderr without stopping
+	// the daemon — the classic "why is it slow right now" probe.
+	if rec != nil {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				rec.Capture("sigquit")
+				logger.Info("flight dump requested", "signal", "SIGQUIT")
+				if err := rec.WriteJSON(os.Stderr); err != nil {
+					logger.Warn("flight dump failed", "err", err)
+				}
+				fmt.Fprintln(os.Stderr)
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -92,6 +178,7 @@ func main() {
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve() }()
 
+	exit := 0
 	select {
 	case s := <-sig:
 		fmt.Printf("gptpu-serve: %v, draining\n", s)
@@ -107,9 +194,72 @@ func main() {
 	case err := <-serveDone:
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gptpu-serve:", err)
-			os.Exit(1)
+			exit = 1
 		}
 	}
+
+	if rec != nil && *flightDump != "" {
+		if err := writeFlightDump(rec, *flightDump); err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-serve: flight-dump:", err)
+			exit = 1
+		} else {
+			fmt.Printf("gptpu-serve: flight recorder written to %s\n", *flightDump)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTrace(rec, *tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "gptpu-serve: trace:", err)
+			exit = 1
+		} else {
+			fmt.Printf("gptpu-serve: chrome trace written to %s\n", *tracePath)
+		}
+	}
+	os.Exit(exit)
+}
+
+// newLogger builds the daemon's structured logger: text to stderr by
+// default, JSON with -log-json.
+func newLogger(jsonOut bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
+}
+
+// writeFlightDump persists the flight recorder to path as indented
+// JSON.
+func writeFlightDump(rec *obs.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace exports the runtime's virtual-time device timelines
+// merged with the flight recorder's wall-clock request lanes as one
+// Chrome trace-event file.
+func writeTrace(rec *obs.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var lanes []trace.ReqLane
+	if rec != nil {
+		lanes = rec.RequestLanes()
+	}
+	n, err := trace.ExportAllWithRequests(gptpu.TracedTimelines(), lanes, f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("gptpu-serve: %d trace events exported\n", n)
+	return f.Close()
 }
 
 // runCheck is the -check client mode: one GEMM round trip verified
@@ -140,5 +290,90 @@ func runCheck(addr string) int {
 	}
 	fmt.Printf("gptpu-serve check: OK (48x48 GEMM round trip in %v)\n",
 		time.Since(start).Round(time.Microsecond))
+	return 0
+}
+
+// runSoak is the -soak client mode: clients concurrent connections
+// each issue reqs small GEMMs (verified once per client against the
+// CPU reference) and the aggregate throughput is reported. Typed
+// errors are counted, not fatal — under chaos flags the daemon is
+// expected to shed or fail some requests.
+func runSoak(addr string, clients, reqs int) int {
+	if clients < 1 {
+		clients = 1
+	}
+	if reqs < 1 {
+		reqs = 1
+	}
+	var ok, failed atomic.Uint64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := server.DialRetry(addr, server.RetryPolicy{Max: 3, Base: 10 * time.Millisecond})
+			if err != nil {
+				failed.Add(uint64(reqs))
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(ci) + 1))
+			a := tensor.RandUniform(rng, 32, 32, -1, 1)
+			b := tensor.RandUniform(rng, 32, 32, -1, 1)
+			want := blas.NaiveGemm(a, b)
+			for i := 0; i < reqs; i++ {
+				got, err := c.Gemm(a, b, &server.CallOpts{Deadline: 5 * time.Second})
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				if i == 0 && tensor.RMSE(want, got) > 0.05 {
+					failed.Add(1)
+					continue
+				}
+				ok.Add(1)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	total := ok.Load() + failed.Load()
+	rps := float64(total) / el.Seconds()
+	fmt.Printf("gptpu-serve soak: %d ok, %d failed in %v (%.0f req/s)\n",
+		ok.Load(), failed.Load(), el.Round(time.Millisecond), rps)
+	if ok.Load() == 0 {
+		fmt.Fprintln(os.Stderr, "gptpu-serve soak: every request failed")
+		return 1
+	}
+	return 0
+}
+
+// runFlightVerify parses and validates a flight-dump file; with
+// expectFault it additionally requires at least one request whose
+// waterfall carries a fault-attributed event (device_lost or
+// transient_retry from the dispatch engine).
+func runFlightVerify(path string, expectFault bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gptpu-serve flight-verify:", err)
+		return 1
+	}
+	var d obs.FlightDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		fmt.Fprintln(os.Stderr, "gptpu-serve flight-verify: parse:", err)
+		return 1
+	}
+	if err := obs.Validate(&d); err != nil {
+		fmt.Fprintln(os.Stderr, "gptpu-serve flight-verify:", err)
+		return 1
+	}
+	faults := obs.FaultAttributed(&d)
+	fmt.Printf("gptpu-serve flight-verify: OK (%d completed, %d in captures, %d fault-attributed)\n",
+		len(d.Completed), len(d.Captures), faults)
+	if expectFault && faults == 0 {
+		fmt.Fprintln(os.Stderr, "gptpu-serve flight-verify: no fault-attributed request found")
+		return 1
+	}
 	return 0
 }

@@ -9,8 +9,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
+	"os"
 
 	gptpu "repro"
 	"repro/internal/apps/blackscholes"
@@ -27,7 +28,8 @@ func main() {
 	ctx := gptpu.Open(gptpu.Config{Devices: 2})
 	got, tpuM, err := blackscholes.RunTPU(ctx, cfg, opts)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error("blackscholes TPU run failed", "err", err)
+		os.Exit(1)
 	}
 
 	var se, rs, worst float64

@@ -16,9 +16,10 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"math/rand"
+	"os"
 
 	gptpu "repro"
 	"repro/internal/quant"
@@ -81,7 +82,8 @@ func main() {
 	for it = 0; it < iters; it++ {
 		ap := matVec(p) // the dual-portion device product
 		if op.Err() != nil {
-			log.Fatal(op.Err())
+			slog.Error("matvec kernel failed", "err", op.Err())
+			os.Exit(1)
 		}
 		alpha := rs / dot(p, ap)
 		for i := range x {

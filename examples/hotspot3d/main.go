@@ -8,7 +8,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	gptpu "repro"
 	"repro/internal/apps/hotspot3d"
@@ -26,7 +27,8 @@ func main() {
 	ctx := gptpu.Open(gptpu.Config{Devices: 1})
 	gotStack, tpuM, err := hotspot3d.RunTPU(ctx, cfg, temp, power)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error("hotspot3d TPU run failed", "err", err)
+		os.Exit(1)
 	}
 
 	var rmse float64

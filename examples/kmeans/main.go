@@ -11,8 +11,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 
 	gptpu "repro"
 	"repro/internal/tensor"
@@ -78,7 +79,8 @@ func main() {
 		ct := centers.Transpose()
 		cross := op.Gemm(bx, ctx.CreateMatrixBuffer(ct))
 		if op.Err() != nil {
-			log.Fatal(op.Err())
+			slog.Error("distance kernel failed", "err", op.Err())
+			os.Exit(1)
 		}
 		cNorm := rowNorms(centers)
 		// Host epilogue: argmin over k of ||x||^2 - 2 x.c + ||c||^2.

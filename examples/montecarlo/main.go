@@ -10,8 +10,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 
 	gptpu "repro"
 	"repro/internal/tensor"
@@ -34,7 +35,8 @@ func main() {
 	y2 := op.Mul(by, by)
 	r2 := op.Add(ctx.CreateMatrixBuffer(x2), ctx.CreateMatrixBuffer(y2))
 	if op.Err() != nil {
-		log.Fatal(op.Err())
+		slog.Error("add kernel failed", "err", op.Err())
+		os.Exit(1)
 	}
 
 	// Hit indicator on the host (a compare has no Table 1 operator),
@@ -47,7 +49,8 @@ func main() {
 	}
 	frac := op.Mean(ctx.CreateMatrixBuffer(hits))
 	if op.Err() != nil {
-		log.Fatal(op.Err())
+		slog.Error("mean reduction failed", "err", op.Err())
+		os.Exit(1)
 	}
 
 	pi := 4 * float64(frac)

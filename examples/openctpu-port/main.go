@@ -9,8 +9,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 
 	"repro/internal/tensor"
 	"repro/openctpu"
@@ -21,7 +22,8 @@ import (
 func kernel(op *openctpu.Invoker, args ...*openctpu.Buffer) {
 	// openctpu_invoke_operator(conv2D, SCALE, matrix_a, matrix_b, matrix_c)
 	if err := op.InvokeOperator(openctpu.Gemm, openctpu.SCALE, args[0], args[1], args[2]); err != nil {
-		log.Fatal(err)
+		slog.Error("invoke_operator failed", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -48,10 +50,12 @@ func main() {
 
 	// openctpu_wait(task_id) then openctpu_sync()
 	if err := ctx.Wait(id); err != nil {
-		log.Fatal(err)
+		slog.Error("wait failed", "err", err)
+		os.Exit(1)
 	}
 	if err := ctx.Sync(); err != nil {
-		log.Fatal(err)
+		slog.Error("sync failed", "err", err)
+		os.Exit(1)
 	}
 
 	c := tensorC.Matrix()

@@ -9,7 +9,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"sort"
 
 	gptpu "repro"
@@ -41,7 +42,8 @@ func main() {
 		}
 		y := op.MatVec(bm, x)
 		if op.Err() != nil {
-			log.Fatal(op.Err())
+			slog.Error("rank iteration failed", "err", op.Err())
+			os.Exit(1)
 		}
 		for i, v := range y {
 			rank[i] = 0.85*v + 0.15/float32(cfg.N)

@@ -7,8 +7,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 
 	gptpu "repro"
 	"repro/internal/blas"
@@ -37,7 +38,8 @@ func main() {
 		c = op.Gemm(a, b)
 	})
 	if err := ctx.Sync(); err != nil {
-		log.Fatal(err)
+		slog.Error("sync failed", "err", err)
+		os.Exit(1)
 	}
 
 	ref := blas.Gemm(rawA, rawB)

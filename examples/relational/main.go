@@ -13,8 +13,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 
 	gptpu "repro"
 	"repro/internal/tensor"
@@ -57,7 +58,8 @@ func main() {
 	// Equality join: M[i][j] == 1 iff R[i].key == S[j].key.
 	join := op.Gemm(bR, bS)
 	if op.Err() != nil {
-		log.Fatal(op.Err())
+		slog.Error("join kernel failed", "err", op.Err())
+		os.Exit(1)
 	}
 
 	// SELECT COUNT(*) FROM R JOIN S ON R.key = S.key:
@@ -79,7 +81,8 @@ func main() {
 	}
 	selected := op.ReLU(ctx.CreateMatrixBuffer(shifted))
 	if op.Err() != nil {
-		log.Fatal(op.Err())
+		slog.Error("selection kernel failed", "err", op.Err())
+		os.Exit(1)
 	}
 
 	// Exact references.

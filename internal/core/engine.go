@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/edgetpu"
+	"repro/internal/fault"
 	"repro/internal/timing"
 )
 
@@ -211,17 +212,29 @@ func (e *engine) worker(id int) {
 
 		start := time.Now()
 		e.c.met.queueWait.Observe(start.Sub(item.enq).Seconds())
+		if item.w.obs != nil {
+			// Stage names match the obs package's constants; see the
+			// TaskObserver contract for why these fire under e.mu.
+			item.w.obs.ObserveSpan("queue_wait", item.enq, start.Sub(item.enq), "")
+		}
 		var (
 			end timing.Duration
 			err error
 		)
 		if !item.b.failed() {
 			end, err = e.c.chargeInstr(item.w)
+			if item.w.obs != nil {
+				item.w.obs.ObserveSpan("charge", start, time.Since(start), "")
+			}
 		}
 		e.mu.Unlock()
 
 		if err == nil && item.w.fn != nil && !item.b.failed() {
+			execStart := time.Now()
 			item.w.fn()
+			if item.w.obs != nil {
+				item.w.obs.ObserveSpan("exec", execStart, time.Since(execStart), "")
+			}
 		}
 		items.Inc()
 		busy.Add(time.Since(start).Seconds())
@@ -322,10 +335,16 @@ func (c *Context) chargeInstr(w *instrWork) (timing.Duration, error) {
 			// Reroute to the remaining pool at once; the lost device's
 			// stale affinity entries rebind on their next use.
 			c.met.lostRetries.Inc()
+			if w.obs != nil {
+				w.obs.ObserveEvent("device_lost", fault.NoteDeviceLost(d.ID, attempt), true)
+			}
 		case errors.Is(err, edgetpu.ErrTransient):
 			// The device is healthy but the execution was lost: hold
 			// the instruction back in virtual time before retrying.
 			c.met.transientRetries.Inc()
+			if w.obs != nil {
+				w.obs.ObserveEvent("transient_retry", fault.NoteTransient(d.ID, attempt, backoff), true)
+			}
 			w.ready += backoff
 			backoff *= 2
 		default:
@@ -333,5 +352,8 @@ func (c *Context) chargeInstr(w *instrWork) (timing.Duration, error) {
 		}
 	}
 	c.met.retryExhausted.Inc()
+	if w.obs != nil {
+		w.obs.ObserveEvent("retry_budget_exhausted", fault.NoteBudgetExhausted(budget+1), true)
+	}
 	return 0, fmt.Errorf("%w after %d attempts: %w", ErrRetryBudget, budget+1, lastErr)
 }

@@ -34,6 +34,7 @@ type instrWork struct {
 	outBytes int64
 	ready    timing.Duration // earliest issue time (host data ready)
 	fn       func()
+	obs      TaskObserver // per-request observer, nil for unobserved tasks
 }
 
 func (w *instrWork) n() int {

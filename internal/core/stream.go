@@ -22,6 +22,7 @@ type Stream struct {
 	taskID int
 	now    timing.Duration
 	err    error
+	obs    TaskObserver // nil unless the task was enqueued observed
 }
 
 // NewStream opens an independent serial operation chain.
@@ -114,6 +115,11 @@ func (p *plan) add(w instrWork) { p.works = append(p.works, w) }
 // one contiguous run, in plan order.
 func (p *plan) submit() *pending {
 	pd := &pending{s: p.s, start: time.Now()}
+	if p.s.obs != nil {
+		for i := range p.works {
+			p.works[i].obs = p.s.obs
+		}
+	}
 	p.s.c.engine().submit(p.works, &pd.bt)
 	return pd
 }

@@ -31,7 +31,16 @@ func (t *Task) Wait() error {
 // kernel's operator invocations, and executes the kernel
 // concurrently with other tasks.
 func (c *Context) Enqueue(kernel func(s *Stream)) *Task {
+	return c.EnqueueObserved(nil, kernel)
+}
+
+// EnqueueObserved is Enqueue with a per-task observer: every
+// instruction the kernel's operators emit reports its queue-wait,
+// charge and exec spans (plus fault retry events) to obs. A nil
+// observer makes this identical to Enqueue.
+func (c *Context) EnqueueObserved(obs TaskObserver, kernel func(s *Stream)) *Task {
 	s := c.NewStream()
+	s.obs = obs
 	t := &Task{ID: s.taskID, done: make(chan struct{})}
 	c.mu.Lock()
 	c.pending = append(c.pending, t)

@@ -1,0 +1,32 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/timing"
+)
+
+// Note* render the stable annotation strings attached to a request
+// trace when the dispatch engine reacts to an injected fault. They
+// live here so the vocabulary of fault consequences stays next to the
+// injector that causes them, and so flight-dump consumers can parse
+// one format regardless of which layer recorded the event.
+
+// NoteDeviceLost annotates a mid-flight device loss: the instruction
+// reroutes to the remaining pool immediately.
+func NoteDeviceLost(device, attempt int) string {
+	return fmt.Sprintf("dev=%d attempt=%d action=reroute", device, attempt)
+}
+
+// NoteTransient annotates an injected transient execution fault: the
+// instruction retries on a healthy device after the given virtual
+// backoff.
+func NoteTransient(device, attempt int, backoff timing.Duration) string {
+	return fmt.Sprintf("dev=%d attempt=%d backoff=%s", device, attempt, backoff)
+}
+
+// NoteBudgetExhausted annotates a retry-budget exhaustion: the
+// request fails with a typed ErrRetryBudget after this many attempts.
+func NoteBudgetExhausted(attempts int) string {
+	return fmt.Sprintf("attempts=%d action=fail", attempts)
+}

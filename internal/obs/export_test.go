@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// traceWithStages finishes one trace whose per-stage durations are
+// exact microsecond multiples, so quantile values are deterministic.
+func traceWithStages(r *Recorder, durs map[string]time.Duration) {
+	tr := r.Start(0, 1, "gemm")
+	base := time.Now()
+	for stage, d := range durs {
+		tr.ObserveSpan(stage, base, d, "")
+	}
+	tr.Finish("ok")
+}
+
+// TestPrometheusGolden pins the wire shape of the new quantile
+// family: family naming, the {stage,quantile} label schema, child
+// ordering (sorted stages, ascending quantiles), and nearest-rank
+// values from a known population. The total/stage_seconds lines for
+// the synthetic "total" stage are excluded since Finish computes them
+// from wall time.
+func TestPrometheusGolden(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := New(Config{})
+	r.Export(reg)
+
+	// 100 identical traces: decode 2µs, exec 10µs, queue_wait 5µs per
+	// request. Every quantile of a constant population is the constant.
+	for i := 0; i < 100; i++ {
+		traceWithStages(r, map[string]time.Duration{
+			StageDecode:    2 * time.Microsecond,
+			StageExec:      10 * time.Microsecond,
+			StageQueueWait: 5 * time.Microsecond,
+		})
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// Extract only the deterministic stage lines (the "total" stage's
+	// value is wall-clock dependent).
+	var got []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "gptpu_obs_stage_seconds{") && !strings.Contains(line, `stage="total"`) {
+			got = append(got, line)
+		}
+	}
+	want := []string{
+		`gptpu_obs_stage_seconds{stage="decode",quantile="0.5"} 2e-06`,
+		`gptpu_obs_stage_seconds{stage="decode",quantile="0.99"} 2e-06`,
+		`gptpu_obs_stage_seconds{stage="decode",quantile="0.999"} 2e-06`,
+		`gptpu_obs_stage_seconds{stage="exec",quantile="0.5"} 1e-05`,
+		`gptpu_obs_stage_seconds{stage="exec",quantile="0.99"} 1e-05`,
+		`gptpu_obs_stage_seconds{stage="exec",quantile="0.999"} 1e-05`,
+		`gptpu_obs_stage_seconds{stage="queue_wait",quantile="0.5"} 5e-06`,
+		`gptpu_obs_stage_seconds{stage="queue_wait",quantile="0.99"} 5e-06`,
+		`gptpu_obs_stage_seconds{stage="queue_wait",quantile="0.999"} 5e-06`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stage sample lines:\ngot  %d: %v\nwant %d: %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d:\ngot  %s\nwant %s", i, got[i], want[i])
+		}
+	}
+
+	// The companion families must be present with their label schemas.
+	for _, needle := range []string{
+		"# TYPE gptpu_obs_stage_seconds gauge",
+		"# TYPE gptpu_obs_requests_total counter",
+		`gptpu_obs_requests_total{status="ok"} 100`,
+		"# TYPE gptpu_obs_inflight gauge",
+		"gptpu_obs_inflight 0",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("export missing %q in:\n%s", needle, out)
+		}
+	}
+}
+
+// TestPrometheusStableAcrossScrapes: two consecutive scrapes with no
+// new traffic render the quantile block byte-identically — child
+// creation order must not depend on scrape count or map iteration.
+func TestPrometheusStableAcrossScrapes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := New(Config{})
+	r.Export(reg)
+	for i := 0; i < 10; i++ {
+		traceWithStages(r, map[string]time.Duration{
+			StageExec:   time.Millisecond,
+			StageCharge: 100 * time.Microsecond,
+		})
+	}
+	var a, b bytes.Buffer
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the wall-clock "total" stage lines before comparing.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, `stage="total"`) {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(a.String()) != strip(b.String()) {
+		t.Fatalf("scrapes differ:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+}

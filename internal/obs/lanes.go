@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// RequestLanes renders the completed ring (and any drain/fault
+// captures' in-flight snapshots) as Chrome-trace request lanes. Lane
+// timestamps are wall-clock microseconds relative to the earliest
+// trace start among the exported set, so arrival spacing is
+// preserved and the lanes line up with each other (machine lanes in
+// the same file run on virtual time — a different clock, called out
+// in the process-group name).
+func (r *Recorder) RequestLanes() []trace.ReqLane {
+	if r == nil {
+		return nil
+	}
+	d := r.Dump()
+	recs := append([]TraceRec(nil), d.Completed...)
+	recs = append(recs, d.InFlight...)
+	if len(recs) == 0 {
+		return nil
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+	epoch := recs[0].Start
+
+	lanes := make([]trace.ReqLane, 0, len(recs))
+	for _, rec := range recs {
+		off := float64(rec.Start.Sub(epoch).Nanoseconds()) / 1e3
+		status := rec.Status
+		if status == "" {
+			status = "in-flight"
+		}
+		lane := trace.ReqLane{Name: "req " + rec.TraceID[8:] + " " + rec.Op + " [" + status + "]"}
+		for _, sp := range rec.Spans {
+			args := map[string]any{"trace_id": rec.TraceID, "stage": sp.Stage}
+			if sp.Attr != "" {
+				args["attr"] = sp.Attr
+			}
+			if sp.Open {
+				args["open"] = true
+			}
+			lane.Spans = append(lane.Spans, trace.ReqSpan{
+				Name:    sp.Stage,
+				StartUS: off + sp.StartUS,
+				DurUS:   sp.DurUS,
+				Args:    args,
+			})
+		}
+		for _, e := range rec.Events {
+			args := map[string]any{"trace_id": rec.TraceID}
+			if e.Attr != "" {
+				args["attr"] = e.Attr
+			}
+			if e.Fault {
+				args["fault"] = true
+			}
+			lane.Marks = append(lane.Marks, trace.ReqMark{
+				Name: e.Name,
+				AtUS: off + e.AtUS,
+				Args: args,
+			})
+		}
+		lanes = append(lanes, lane)
+	}
+	return lanes
+}

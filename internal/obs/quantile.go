@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// quantiles keeps one sliding window of recent observations per
+// stage and publishes nearest-rank p50/p99/p999 as gauges. Windowed
+// quantiles (rather than cumulative histograms) answer the SLO
+// question — "what is tail latency *now*" — and survive traffic
+// pattern shifts that would wash out in a since-boot histogram.
+type quantiles struct {
+	window int
+
+	mu     sync.Mutex
+	stages map[string]*qwin
+	names  []string // publish order: sorted at first use
+}
+
+type qwin struct {
+	buf  []float64 // circular once full
+	next int
+	full bool
+}
+
+func newQuantiles(window int) *quantiles {
+	return &quantiles{window: window, stages: make(map[string]*qwin)}
+}
+
+func (q *quantiles) observe(stage string, sec float64) {
+	q.mu.Lock()
+	w, ok := q.stages[stage]
+	if !ok {
+		w = &qwin{buf: make([]float64, 0, q.window)}
+		q.stages[stage] = w
+		i := sort.SearchStrings(q.names, stage)
+		q.names = append(q.names, "")
+		copy(q.names[i+1:], q.names[i:])
+		q.names[i] = stage
+	}
+	if !w.full && len(w.buf) < q.window {
+		w.buf = append(w.buf, sec)
+		if len(w.buf) == q.window {
+			w.full = true
+		}
+	} else {
+		w.buf[w.next] = sec
+	}
+	w.next = (w.next + 1) % q.window
+	q.mu.Unlock()
+}
+
+// published quantile labels, in child-creation order.
+var quantileLabels = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.99", 0.99},
+	{"0.999", 0.999},
+}
+
+// publish computes the current windowed quantiles for every stage
+// (stage-name order, fixed quantile order) and sets the gauges.
+// Called from the registry snapshot hook, so a scrape always reads
+// values computed at scrape time, and first publication creates the
+// gauge children in a deterministic order for stable text export.
+func (q *quantiles) publish(g *telemetry.GaugeVec) {
+	q.mu.Lock()
+	type stageCopy struct {
+		name string
+		vals []float64
+	}
+	copies := make([]stageCopy, 0, len(q.names))
+	for _, name := range q.names {
+		w := q.stages[name]
+		copies = append(copies, stageCopy{name: name, vals: append([]float64(nil), w.buf...)})
+	}
+	q.mu.Unlock()
+
+	for _, sc := range copies {
+		sort.Float64s(sc.vals)
+		for _, ql := range quantileLabels {
+			g.With(sc.name, ql.label).Set(nearestRank(sc.vals, ql.q))
+		}
+	}
+}
+
+// nearestRank returns the nearest-rank quantile of sorted vals
+// (0 for an empty window).
+func nearestRank(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(q*float64(n)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return sorted[rank]
+}

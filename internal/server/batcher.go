@@ -8,6 +8,7 @@ import (
 	"time"
 
 	gptpu "repro"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -81,7 +82,25 @@ type gemmCall struct {
 	a              *tensor.Matrix
 	arrived        time.Time
 	deadlineMillis uint32
+	rt             *obs.Trace // rider's request trace, nil when tracing is off
 	done           chan callResult
+}
+
+// fanObs fans one batched submission's engine observations out to
+// every rider's trace: the stacked GEMM runs once, but each request
+// in the batch owns the queue-wait/charge/exec time it shared.
+type fanObs []*obs.Trace
+
+func (f fanObs) ObserveSpan(stage string, start time.Time, d time.Duration, attr string) {
+	for _, t := range f {
+		t.ObserveSpan(stage, start, d, attr)
+	}
+}
+
+func (f fanObs) ObserveEvent(name, attr string, fault bool) {
+	for _, t := range f {
+		t.ObserveEvent(name, attr, fault)
+	}
 }
 
 // batchGroup accumulates compatible calls until the window timer, the
@@ -245,8 +264,22 @@ func (b *batcher) flush(key batchKey, g *batchGroup) {
 
 	wb := b.weightBuffer(key, g.b)
 	ab := b.gx.CreateMatrixBuffer(stacked)
+	var to gptpu.TaskObserver
+	var riders fanObs
+	for _, c := range live {
+		if c.rt != nil {
+			riders = append(riders, c.rt)
+		}
+	}
+	if len(riders) > 0 {
+		attr := fmt.Sprintf("riders=%d rows=%d", len(live), rows)
+		for _, t := range riders {
+			t.ObserveEvent("batched", attr, false)
+		}
+		to = riders
+	}
 	var out *tensor.Matrix
-	task := b.gx.Enqueue(func(op *gptpu.Op) { out = op.Gemm(ab, wb) })
+	task := b.gx.EnqueueObserved(to, func(op *gptpu.Op) { out = op.Gemm(ab, wb) })
 	err := task.Wait()
 	if err == nil && out == nil {
 		err = fmt.Errorf("%w: batched GEMM returned no result", ErrInternal)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -24,6 +25,16 @@ type Client struct {
 
 	retry   RetryPolicy
 	retries atomic.Int64
+
+	// ver is the negotiated protocol version: starts at the newest
+	// this build speaks, downgrades (once, monotonically) when the
+	// server answers CodeVersion — the per-frame negotiation that
+	// keeps a v2 client talking to a v1 daemon.
+	ver atomic.Uint32
+
+	// rec, when set, records a client-side waterfall (encode, wire
+	// round-trip, retries) per call into its own flight recorder.
+	rec *obs.Recorder
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
@@ -97,6 +108,10 @@ type CallOpts struct {
 	// NoBatch opts the request out of server-side GEMM micro-batching
 	// (exact per-request quantization scale at lower throughput).
 	NoBatch bool
+	// TraceID pins the request's end-to-end trace ID (0 = the client
+	// generates a fresh one). Propagated in the v2 frame header and
+	// echoed in every reply, including typed errors.
+	TraceID uint64
 }
 
 // Dial connects to a gptpu-serve daemon. Calls through the returned
@@ -120,9 +135,18 @@ func DialRetry(addr string, p RetryPolicy) (*Client, error) {
 		bw:      bufio.NewWriter(conn),
 		pending: make(map[uint64]chan reply),
 	}
+	c.ver.Store(uint32(Version))
 	go c.readLoop()
 	return c, nil
 }
+
+// SetFlightRecorder attaches a client-side flight recorder: each call
+// records its encode/wire/retry waterfall into r. Set it before
+// issuing calls; a nil recorder disables client-side tracing.
+func (c *Client) SetFlightRecorder(r *obs.Recorder) { c.rec = r }
+
+// ProtocolVersion returns the currently negotiated frame version.
+func (c *Client) ProtocolVersion() byte { return byte(c.ver.Load()) }
 
 // Retries returns how many retry sends this client has performed.
 func (c *Client) Retries() int64 { return c.retries.Load() }
@@ -169,49 +193,68 @@ func (c *Client) failAll(err error) {
 	}
 }
 
-// roundTrip sends one frame and waits for its reply.
-func (c *Client) roundTrip(t MsgType, payload []byte) (*Frame, error) {
-	id := c.seq.Add(1)
-	ch := make(chan reply, 1)
-	c.pmu.Lock()
-	if c.closed {
-		err := c.err
-		c.pmu.Unlock()
-		return nil, fmt.Errorf("server client: connection closed: %w", err)
-	}
-	c.pending[id] = ch
-	c.pmu.Unlock()
-
-	c.wmu.Lock()
-	err := EncodeFrame(c.bw, &Frame{Version: Version, Type: t, ReqID: id, Payload: payload})
-	if err == nil {
-		err = c.bw.Flush()
-	}
-	c.wmu.Unlock()
-	if err != nil {
+// roundTrip sends one frame (in the negotiated protocol version,
+// carrying traceID on v2) and waits for its reply. A CodeVersion
+// answer to a v2 frame downgrades the connection to legacy frames and
+// resends the same request once — the version negotiation. Error
+// replies carrying a trace ID annotate the returned error with it, so
+// a shed request's log line names the exact server-side trace.
+func (c *Client) roundTrip(t MsgType, payload []byte, traceID uint64) (*Frame, error) {
+	for {
+		ver := byte(c.ver.Load())
+		id := c.seq.Add(1)
+		ch := make(chan reply, 1)
 		c.pmu.Lock()
-		delete(c.pending, id)
-		c.pmu.Unlock()
-		return nil, err
-	}
-
-	r := <-ch
-	if r.err != nil {
-		return nil, fmt.Errorf("server client: connection lost: %w", r.err)
-	}
-	if r.f.Type == MsgError {
-		code, msg, derr := decodeError(r.f.Payload)
-		if derr != nil {
-			return nil, derr
+		if c.closed {
+			err := c.err
+			c.pmu.Unlock()
+			return nil, fmt.Errorf("server client: connection closed: %w", err)
 		}
-		return nil, errFromCode(code, msg)
+		c.pending[id] = ch
+		c.pmu.Unlock()
+
+		c.wmu.Lock()
+		err := EncodeFrame(c.bw, &Frame{Version: ver, Type: t, ReqID: id, TraceID: traceID, Payload: payload})
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		c.wmu.Unlock()
+		if err != nil {
+			c.pmu.Lock()
+			delete(c.pending, id)
+			c.pmu.Unlock()
+			return nil, err
+		}
+
+		r := <-ch
+		if r.err != nil {
+			return nil, fmt.Errorf("server client: connection lost: %w", r.err)
+		}
+		if r.f.Type == MsgError {
+			code, msg, derr := decodeError(r.f.Payload)
+			if derr != nil {
+				return nil, derr
+			}
+			if code == CodeVersion && ver > VersionLegacy {
+				// The server does not speak our version: downgrade and
+				// resend. The loop is bounded — a legacy frame that still
+				// draws CodeVersion falls through to the typed error.
+				c.ver.CompareAndSwap(uint32(ver), uint32(VersionLegacy))
+				continue
+			}
+			err := errFromCode(code, msg)
+			if r.f.TraceID != 0 {
+				err = fmt.Errorf("%w [trace=%s]", err, obs.FormatID(r.f.TraceID))
+			}
+			return nil, err
+		}
+		return r.f, nil
 	}
-	return r.f, nil
 }
 
 // Ping round-trips a liveness probe.
 func (c *Client) Ping() error {
-	f, err := c.roundTrip(MsgPing, nil)
+	f, err := c.roundTrip(MsgPing, nil, 0)
 	if err != nil {
 		return err
 	}
@@ -231,6 +274,7 @@ func (c *Client) Call(op MsgType, a, b *tensor.Matrix, opts *CallOpts) (*tensor.
 		return nil, fmt.Errorf("server client: wrong operand count for %s", op)
 	}
 	req := &OpRequest{Op: op, A: a, B: b}
+	traceID := uint64(0)
 	if opts != nil {
 		if opts.Deadline > 0 {
 			millis := opts.Deadline.Milliseconds()
@@ -248,31 +292,46 @@ func (c *Client) Call(op MsgType, a, b *tensor.Matrix, opts *CallOpts) (*tensor.
 		if opts.NoBatch {
 			req.Flags |= FlagNoBatch
 		}
+		traceID = opts.TraceID
 	}
+	if traceID == 0 {
+		traceID = obs.NewTraceID()
+	}
+	rt := c.rec.Start(traceID, 0, op.String()) // nil recorder -> nil trace
+	est := time.Now()
 	payload := encodeOpRequest(req)
+	rt.ObserveSpan(obs.StageClientEncode, est, time.Since(est), "")
 	var f *Frame
 	var err error
 	for attempt := 0; ; attempt++ {
-		f, err = c.roundTrip(op, payload)
+		rt.Begin(obs.StageWire, "")
+		f, err = c.roundTrip(op, payload, traceID)
+		rt.End(obs.StageWire)
 		if err == nil || attempt >= c.retry.Max || !Retryable(err) {
 			break
 		}
 		c.retries.Add(1)
+		rt.ObserveEvent("client_retry", fmt.Sprintf("attempt=%d err=%s", attempt+1, errStatus(codeFromErr(err))), false)
 		time.Sleep(c.retry.backoff(attempt))
 	}
 	if err != nil {
+		rt.Finish(errStatus(codeFromErr(err)))
 		return nil, err
 	}
 	if f.Type != MsgResult {
+		rt.Finish("internal")
 		return nil, fmt.Errorf("server client: %s answered with %s", op, f.Type)
 	}
 	m, rest, err := decodeMatrix(f.Payload)
 	if err != nil {
+		rt.Finish("internal")
 		return nil, err
 	}
 	if len(rest) != 0 {
+		rt.Finish("internal")
 		return nil, fmt.Errorf("server client: %d trailing bytes in result", len(rest))
 	}
+	rt.Finish("ok")
 	return m, nil
 }
 

@@ -41,6 +41,21 @@ func FuzzDecodeFrame(f *testing.F) {
 	v9[6] = 9
 	f.Add(v9)
 
+	// Legacy v1 frame (no trace field) — must still decode.
+	var v1 bytes.Buffer
+	_ = EncodeFrame(&v1, &Frame{Version: VersionLegacy, Type: MsgGemm, ReqID: 43,
+		Payload: encodeOpRequest(&OpRequest{Op: MsgGemm, A: a, B: b})})
+	f.Add(v1.Bytes())
+
+	// v2 frame whose length claim covers only the v1 header: the trace
+	// field is missing and the decoder must reject, not over-read.
+	shortV2 := make([]byte, 4+headerLen)
+	binary.BigEndian.PutUint32(shortV2[0:], headerLen)
+	binary.BigEndian.PutUint16(shortV2[4:], Magic)
+	shortV2[6] = Version
+	shortV2[7] = byte(MsgPing)
+	f.Add(shortV2)
+
 	// Matrix header claiming MaxDim x MaxDim with no data.
 	huge := make([]byte, 0, 64)
 	huge = binary.BigEndian.AppendUint32(huge, 0) // deadline

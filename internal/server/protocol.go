@@ -43,10 +43,17 @@ import (
 //	offset  size  field
 //	0       4     frame length n (big-endian; bytes after this field)
 //	4       2     magic 0x4754 ("GT")
-//	6       1     protocol version (1)
+//	6       1     protocol version (1 or 2)
 //	7       1     message type
 //	8       8     request ID (echoed verbatim in the reply)
-//	16      n-12  payload
+//	16      8     trace ID (version 2 only; echoed verbatim, 0 = none)
+//	...     ...   payload
+//
+// Version 2 inserts an 8-byte trace ID between the request ID and the
+// payload; version 1 frames have no trace field. Versioning is
+// per-frame: a server answers each request in the version it arrived
+// with, and a client that receives CodeVersion downgrades to legacy
+// frames for the rest of the connection.
 //
 // Request payloads (MsgGemm .. MsgMax):
 //
@@ -61,14 +68,18 @@ import (
 const (
 	// Magic is the two-byte frame preamble ("GT").
 	Magic uint16 = 0x4754
-	// Version is the protocol version this build speaks. A frame with
-	// any other version is answered with CodeVersion and the
-	// connection keeps working — versioning is per-frame, so a future
-	// v2 client can downgrade per request.
-	Version byte = 1
-	// headerLen is the fixed post-length header: magic + version +
-	// type + request ID.
-	headerLen = 12
+	// Version is the newest protocol version this build speaks (v2:
+	// trace-ID field). Legacy v1 frames are still decoded; frames with
+	// any other version are answered with CodeVersion and the
+	// connection keeps working — versioning is per-frame, so clients
+	// negotiate by downgrading after a CodeVersion reply.
+	Version byte = 2
+	// VersionLegacy is the pre-tracing frame layout (no trace field).
+	VersionLegacy byte = 1
+	// headerLen is the fixed v1 post-length header: magic + version +
+	// type + request ID. headerLenV2 adds the 8-byte trace ID.
+	headerLen   = 12
+	headerLenV2 = headerLen + 8
 	// MaxFrameLen bounds one frame's post-length bytes (64 MiB, a
 	// 2896x2896 float32 matrix pair with headroom). DecodeFrame
 	// rejects larger claims before allocating.
@@ -78,11 +89,12 @@ const (
 	MaxDim = 1 << 20
 	// MaxResultElems bounds a result matrix's element count so its
 	// reply (8-byte matrix header + 4 bytes/element) always fits one
-	// frame. The frame cap bounds *inputs*, but not what they compute:
-	// an outer-product GEMM (2^20 x 1 times 1 x 2^20) ships ~8 MiB of
-	// operands yet names a 4 TiB result — validateShapes rejects such
-	// requests up front instead of letting them allocate.
-	MaxResultElems = (MaxFrameLen - headerLen - 8) / 4
+	// frame in either protocol version (sized against the larger v2
+	// header). The frame cap bounds *inputs*, but not what they
+	// compute: an outer-product GEMM (2^20 x 1 times 1 x 2^20) ships
+	// ~8 MiB of operands yet names a 4 TiB result — validateShapes
+	// rejects such requests up front instead of letting them allocate.
+	MaxResultElems = (MaxFrameLen - headerLenV2 - 8) / 4
 )
 
 // MsgType enumerates frame types.
@@ -222,25 +234,40 @@ func codeFromErr(err error) uint16 {
 	return CodeInternal
 }
 
-// Frame is one decoded wire message.
+// Frame is one decoded wire message. TraceID is carried only by
+// version-2 frames (0 on v1 and when the client attached no trace).
 type Frame struct {
 	Version byte
 	Type    MsgType
 	ReqID   uint64
+	TraceID uint64
 	Payload []byte
 }
 
-// EncodeFrame writes f to w in wire format.
+// EncodeFrame writes f to w in wire format, choosing the header
+// layout from f.Version (0 means the current Version). The trace ID
+// is dropped silently when encoding a legacy v1 frame.
 func EncodeFrame(w io.Writer, f *Frame) error {
-	if len(f.Payload) > MaxFrameLen-headerLen {
+	ver := f.Version
+	if ver == 0 {
+		ver = Version
+	}
+	hdrLen := headerLen
+	if ver >= 2 {
+		hdrLen = headerLenV2
+	}
+	if len(f.Payload) > MaxFrameLen-hdrLen {
 		return fmt.Errorf("server: payload %d bytes exceeds frame cap", len(f.Payload))
 	}
-	hdr := make([]byte, 4+headerLen)
-	binary.BigEndian.PutUint32(hdr[0:], uint32(headerLen+len(f.Payload)))
+	hdr := make([]byte, 4+hdrLen)
+	binary.BigEndian.PutUint32(hdr[0:], uint32(hdrLen+len(f.Payload)))
 	binary.BigEndian.PutUint16(hdr[4:], Magic)
-	hdr[6] = f.Version
+	hdr[6] = ver
 	hdr[7] = byte(f.Type)
 	binary.BigEndian.PutUint64(hdr[8:], f.ReqID)
+	if ver >= 2 {
+		binary.BigEndian.PutUint64(hdr[16:], f.TraceID)
+	}
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -249,10 +276,11 @@ func EncodeFrame(w io.Writer, f *Frame) error {
 }
 
 // DecodeFrame reads one frame from r, rejecting malformed input with
-// an error (never a panic, never an allocation beyond max). A frame
-// whose version differs from Version is returned together with
-// ErrVersionMismatch so the caller can still answer its request ID;
-// every other error leaves the stream unusable.
+// an error (never a panic, never an allocation beyond max). Both
+// protocol versions decode; a frame with any other version is
+// returned together with ErrVersionMismatch so the caller can still
+// answer its request ID; every other error leaves the stream
+// unusable.
 func DecodeFrame(r io.Reader, max uint32) (*Frame, error) {
 	if max == 0 || max > MaxFrameLen {
 		max = MaxFrameLen
@@ -281,10 +309,31 @@ func DecodeFrame(r io.Reader, max uint32) (*Frame, error) {
 		ReqID:   binary.BigEndian.Uint64(buf[4:]),
 		Payload: buf[headerLen:],
 	}
-	if f.Version != Version {
-		return f, fmt.Errorf("%w: frame version %d, want %d", ErrVersionMismatch, f.Version, Version)
+	switch f.Version {
+	case VersionLegacy:
+		return f, nil
+	case Version:
+		if n < headerLenV2 {
+			return nil, fmt.Errorf("%w: v2 frame length %d below header size", ErrBadRequest, n)
+		}
+		f.TraceID = binary.BigEndian.Uint64(buf[12:])
+		f.Payload = buf[headerLenV2:]
+		return f, nil
 	}
-	return f, nil
+	return f, fmt.Errorf("%w: frame version %d, want %d or %d", ErrVersionMismatch, f.Version, VersionLegacy, Version)
+}
+
+// wireLen returns the full on-wire size of f (length prefix + header
+// + payload), for byte-counter telemetry.
+func wireLen(f *Frame) int {
+	ver := f.Version
+	if ver == 0 {
+		ver = Version
+	}
+	if ver >= 2 {
+		return 4 + headerLenV2 + len(f.Payload)
+	}
+	return 4 + headerLen + len(f.Payload)
 }
 
 // appendMatrix appends the wire encoding of m (rows, cols, row-major

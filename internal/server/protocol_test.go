@@ -13,7 +13,7 @@ import (
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	in := &Frame{Version: Version, Type: MsgResult, ReqID: 0xDEADBEEFCAFE, Payload: []byte{1, 2, 3}}
+	in := &Frame{Version: Version, Type: MsgResult, ReqID: 0xDEADBEEFCAFE, TraceID: 0xFEEDC0DE, Payload: []byte{1, 2, 3}}
 	if err := EncodeFrame(&buf, in); err != nil {
 		t.Fatal(err)
 	}
@@ -21,8 +21,29 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Type != in.Type || out.ReqID != in.ReqID || !bytes.Equal(out.Payload, in.Payload) {
+	if out.Type != in.Type || out.ReqID != in.ReqID || out.TraceID != in.TraceID || !bytes.Equal(out.Payload, in.Payload) {
 		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+// TestLegacyFrameRoundTrip: v1 frames (no trace field) must still
+// encode and decode; the trace ID is dropped silently on encode and
+// reads back as zero.
+func TestLegacyFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Frame{Version: VersionLegacy, Type: MsgPing, ReqID: 99, TraceID: 0xABCD}
+	if err := EncodeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Len(); got != 4+headerLen {
+		t.Fatalf("v1 ping frame is %d bytes, want %d", got, 4+headerLen)
+	}
+	out, err := DecodeFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != VersionLegacy || out.ReqID != 99 || out.TraceID != 0 {
+		t.Fatalf("legacy round trip: %+v", out)
 	}
 }
 
@@ -91,14 +112,29 @@ func TestDecodeFrameRejectsMalformed(t *testing.T) {
 		}
 	})
 	t.Run("wrong-version", func(t *testing.T) {
-		v2 := append([]byte(nil), good...)
-		v2[6] = Version + 1
-		f, err := DecodeFrame(bytes.NewReader(v2), 0)
+		v3 := append([]byte(nil), good...)
+		v3[6] = Version + 1
+		f, err := DecodeFrame(bytes.NewReader(v3), 0)
 		if !errors.Is(err, ErrVersionMismatch) {
 			t.Fatalf("wrong version: want ErrVersionMismatch, got %v", err)
 		}
 		if f == nil || f.ReqID != 7 {
 			t.Fatal("version mismatch must still surface the request ID for the error reply")
+		}
+	})
+	t.Run("v2-truncated-header", func(t *testing.T) {
+		// A frame claiming version 2 whose length covers only the v1
+		// header (12 <= n < 20) must draw a typed error, not a panic or
+		// a phantom trace ID read past the buffer.
+		for n := headerLen; n < headerLenV2; n++ {
+			raw := make([]byte, 4+n)
+			binary.BigEndian.PutUint32(raw[0:], uint32(n))
+			binary.BigEndian.PutUint16(raw[4:], Magic)
+			raw[6] = Version
+			raw[7] = byte(MsgPing)
+			if _, err := DecodeFrame(bytes.NewReader(raw), 0); !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("v2 length %d: want ErrBadRequest, got %v", n, err)
+			}
 		}
 	})
 }

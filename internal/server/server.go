@@ -2,15 +2,18 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	gptpu "repro"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
@@ -52,16 +55,30 @@ type Config struct {
 	// RetryBudget bounds the runtime's per-instruction dispatch
 	// retries under injected faults (0 = the runtime default of 8).
 	RetryBudget int
+	// Obs is the flight recorder: per-request trace waterfalls, the
+	// windowed stage quantiles, and the postmortem dump. nil disables
+	// request tracing entirely (zero per-request overhead).
+	Obs *obs.Recorder
+	// MaxVersion caps the protocol version the daemon accepts (0 =
+	// the current Version). Tests set VersionLegacy to simulate an
+	// old daemon for client downgrade negotiation.
+	MaxVersion byte
+	// Logger receives structured serving-path logs with trace-ID and
+	// request-ID attributes (nil = discard).
+	Logger *slog.Logger
 }
 
 // Server is the gptpu-serve daemon: one shared runtime context, an
 // admission controller, a GEMM micro-batcher, and a TCP front door.
 type Server struct {
-	cfg Config
-	gx  *gptpu.Context
-	met *serverMetrics
-	adm *admission
-	bat *batcher // nil when batching is disabled
+	cfg    Config
+	gx     *gptpu.Context
+	met    *serverMetrics
+	adm    *admission
+	bat    *batcher // nil when batching is disabled
+	rec    *obs.Recorder
+	log    *slog.Logger
+	maxVer byte
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -94,12 +111,26 @@ func New(cfg Config) *Server {
 		Fault:           cfg.Fault,
 		RetryBudget:     cfg.RetryBudget,
 	})
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	maxVer := cfg.MaxVersion
+	if maxVer == 0 {
+		maxVer = Version
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.Export(reg)
+	}
 	s := &Server{
-		cfg:   cfg,
-		gx:    gx,
-		met:   met,
-		adm:   newAdmission(cfg.MaxInFlight, met),
-		conns: make(map[net.Conn]struct{}),
+		cfg:    cfg,
+		gx:     gx,
+		met:    met,
+		adm:    newAdmission(cfg.MaxInFlight, met),
+		rec:    cfg.Obs,
+		log:    logger,
+		maxVer: maxVer,
+		conns:  make(map[net.Conn]struct{}),
 	}
 	if cfg.BatchWindow > 0 {
 		s.bat = newBatcher(gx, met, cfg.BatchWindow, cfg.BatchMaxRequests, cfg.BatchMaxRows)
@@ -137,6 +168,10 @@ func (s *Server) Metrics() *telemetry.Registry { return s.met.reg }
 // Runtime exposes the shared context (virtual-time and scheduler
 // introspection for benchmarks and tests).
 func (s *Server) Runtime() *gptpu.Context { return s.gx }
+
+// Flight returns the daemon's flight recorder (nil when tracing is
+// disabled), for the /debug/flight handler and exit-time dumps.
+func (s *Server) Flight() *obs.Recorder { return s.rec }
 
 // Serve accepts connections until Shutdown closes the listener. A
 // graceful shutdown returns nil.
@@ -193,6 +228,10 @@ func (s *Server) Shutdown() error {
 	if already {
 		return nil
 	}
+	// Freeze what was in flight at the drain moment: the flight dump's
+	// answer to "what was the daemon doing when it was told to stop".
+	s.rec.Capture("drain")
+	s.log.Info("drain started")
 	if ln != nil {
 		ln.Close()
 	}
@@ -226,7 +265,7 @@ func (cw *connWriter) send(f *Frame) error {
 	if err := cw.bw.Flush(); err != nil {
 		return err
 	}
-	cw.met.bytesSent.Add(float64(4 + headerLen + len(f.Payload)))
+	cw.met.bytesSent.Add(float64(wireLen(f)))
 	return nil
 }
 
@@ -252,42 +291,65 @@ func (s *Server) handleConn(conn net.Conn) {
 			if errors.Is(err, ErrVersionMismatch) && f != nil {
 				// Per-frame versioning: answer this request, keep the
 				// connection (framing stayed intact).
-				s.reply(cw, f.ReqID, MsgError, encodeError(CodeVersion, err.Error()))
+				s.reply(cw, s.maxVer, f.ReqID, 0, MsgError, encodeError(CodeVersion, err.Error()))
 				continue
 			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
 				// Malformed framing: the stream position is unknown,
 				// so drop the connection after a best-effort error.
-				s.reply(cw, 0, MsgError, encodeError(CodeBadRequest, err.Error()))
+				s.log.Warn("dropping connection on malformed frame", "err", err.Error())
+				s.reply(cw, s.maxVer, 0, 0, MsgError, encodeError(CodeBadRequest, err.Error()))
 			}
 			return
 		}
-		s.met.bytesRead.Add(float64(4 + headerLen + len(f.Payload)))
+		s.met.bytesRead.Add(float64(wireLen(f)))
+		if f.Version > s.maxVer {
+			// Version-capped daemon (tests simulate a legacy server this
+			// way): answer like an old build would, in its own version.
+			s.reply(cw, s.maxVer, f.ReqID, 0, MsgError, encodeError(CodeVersion,
+				fmt.Sprintf("frame version %d, server speaks <= %d", f.Version, s.maxVer)))
+			continue
+		}
 
 		switch {
 		case f.Type == MsgPing:
-			s.reply(cw, f.ReqID, MsgPong, nil)
+			s.reply(cw, f.Version, f.ReqID, f.TraceID, MsgPong, nil)
 		case f.Type.isOp():
 			s.mu.Lock()
 			if s.draining {
 				s.mu.Unlock()
-				s.reply(cw, f.ReqID, MsgError, encodeError(CodeShuttingDown, "draining"))
+				// Typed error replies echo the request's trace ID so the
+				// client can log which request the shutdown bounced.
+				s.reply(cw, f.Version, f.ReqID, f.TraceID, MsgError, encodeError(CodeShuttingDown, "draining"))
 				continue
 			}
 			s.reqWG.Add(1)
 			s.mu.Unlock()
 			go s.handleRequest(cw, f)
 		default:
-			s.reply(cw, f.ReqID, MsgError,
+			s.reply(cw, f.Version, f.ReqID, f.TraceID, MsgError,
 				encodeError(CodeBadRequest, fmt.Sprintf("unexpected frame type %s", f.Type)))
 		}
 	}
 }
 
-// reply writes one frame, ignoring write errors (the read loop
-// notices a dead connection).
-func (s *Server) reply(cw *connWriter, reqID uint64, t MsgType, payload []byte) {
-	_ = cw.send(&Frame{Version: Version, Type: t, ReqID: reqID, Payload: payload})
+// reply writes one frame in the request's protocol version (a v1
+// client must get v1 replies), echoing its trace ID on v2. Write
+// errors are ignored — the read loop notices a dead connection.
+func (s *Server) reply(cw *connWriter, ver byte, reqID, traceID uint64, t MsgType, payload []byte) {
+	_ = cw.send(&Frame{Version: ver, Type: t, ReqID: reqID, TraceID: traceID, Payload: payload})
+}
+
+// reqCtx carries one request's reply coordinates and trace through
+// the serving path.
+type reqCtx struct {
+	cw      *connWriter
+	ver     byte
+	reqID   uint64
+	traceID uint64
+	op      MsgType
+	arrived time.Time
+	rt      *obs.Trace // nil when tracing is disabled
 }
 
 // handleRequest serves one operator request end to end: decode,
@@ -299,42 +361,60 @@ func (s *Server) handleRequest(cw *connWriter, f *Frame) {
 	op := f.Type
 	s.met.requests.With(op.String()).Inc()
 
+	// The trace ID is client-generated; the recorder assigns one when
+	// the client sent none (v1 frames, zero field). Error replies echo
+	// whichever ID ends up attached, so the client can correlate.
+	rt := s.rec.Start(f.TraceID, f.ReqID, op.String())
+	traceID := f.TraceID
+	if rt != nil {
+		traceID = rt.ID()
+	}
+	rc := &reqCtx{cw: cw, ver: f.Version, reqID: f.ReqID, traceID: traceID, op: op, arrived: arrived, rt: rt}
+
+	dst := time.Now()
 	req, err := decodeOpRequest(op, f.Payload)
 	if err == nil {
 		err = validateShapes(req)
 	}
+	rt.ObserveSpan(obs.StageDecode, dst, time.Since(dst), "")
 	if err != nil {
-		s.finishReply(cw, f.ReqID, op, arrived, nil, err)
+		s.finishReply(rc, nil, err)
 		return
 	}
+	ast := time.Now()
 	if err := s.adm.tryAcquire(); err != nil {
-		s.finishReply(cw, f.ReqID, op, arrived, nil, err)
+		rt.ObserveSpan(obs.StageAdmission, ast, time.Since(ast), "shed")
+		s.finishReply(rc, nil, err)
 		return
 	}
+	rt.ObserveSpan(obs.StageAdmission, ast, time.Since(ast), "")
 	defer s.adm.release()
 	if expired(arrived, req.DeadlineMillis, time.Now()) {
 		s.met.deadline.Inc()
-		s.finishReply(cw, f.ReqID, op, arrived, nil, ErrDeadlineExceeded)
+		s.finishReply(rc, nil, ErrDeadlineExceeded)
 		return
 	}
 
 	if s.batchable(req) {
 		key := batchKey{n: req.A.Cols, k: req.B.Cols, bhash: hashMatrix(req.B)}
 		call := &gemmCall{a: req.A, arrived: arrived, deadlineMillis: req.DeadlineMillis,
-			done: make(chan callResult, 1)}
+			rt: rt, done: make(chan callResult, 1)}
+		rt.Begin(obs.StageBatchWait, "")
 		if s.bat.submit(key, req.B, call) {
 			res := <-call.done
-			s.finishReply(cw, f.ReqID, op, arrived, res.m, res.err)
+			rt.End(obs.StageBatchWait)
+			s.finishReply(rc, res.m, res.err)
 			return
 		}
 		// The weight matrix hash-collided with a live batch group's:
 		// fall through to the unbatched path rather than batch against
 		// the wrong weights.
+		rt.End(obs.StageBatchWait)
 	}
 
 	s.met.queueWait.Observe(time.Since(arrived).Seconds())
-	m, err := s.execute(req)
-	s.finishReply(cw, f.ReqID, op, arrived, m, err)
+	m, err := s.execute(req, rt)
+	s.finishReply(rc, m, err)
 }
 
 // batchable reports whether a request qualifies for micro-batching:
@@ -344,24 +424,43 @@ func (s *Server) batchable(req *OpRequest) bool {
 		req.A.Elems() <= s.cfg.BatchMaxElems && req.B.Elems() <= s.cfg.BatchMaxElems
 }
 
-// finishReply writes the success or error frame and records the
-// reply-class counter and end-to-end latency histogram. A result that
-// cannot fit one frame (validateShapes should prevent this) degrades
-// to a typed error reply — the request ID is always answered, so the
-// client never blocks on a silently-dropped encode.
-func (s *Server) finishReply(cw *connWriter, reqID uint64, op MsgType, arrived time.Time, m *tensor.Matrix, err error) {
+// finishReply writes the success or error frame (echoing the
+// request's protocol version and trace ID), records the reply-class
+// counter and end-to-end latency histogram, and seals the request's
+// trace. A result that cannot fit one frame (validateShapes should
+// prevent this) degrades to a typed error reply — the request ID is
+// always answered, so the client never blocks on a silently-dropped
+// encode.
+func (s *Server) finishReply(rc *reqCtx, m *tensor.Matrix, err error) {
 	if err == nil && m.Elems() > MaxResultElems {
 		err = fmt.Errorf("%w: result %dx%d exceeds reply frame cap", ErrInternal, m.Rows, m.Cols)
 	}
+	est := time.Now()
+	var status string
 	if err != nil {
 		code := codeFromErr(err)
-		s.met.replies.With(errStatus(code)).Inc()
-		s.reply(cw, reqID, MsgError, encodeError(code, err.Error()))
+		status = errStatus(code)
+		s.met.replies.With(status).Inc()
+		s.reply(rc.cw, rc.ver, rc.reqID, rc.traceID, MsgError, encodeError(code, err.Error()))
+		rc.rt.ObserveSpan(obs.StageReplyEncode, est, time.Since(est), status)
+		// Client-fault and internal failures are operator-actionable;
+		// sheds and deadline misses are expected load-control outcomes
+		// and stay at debug so a chaos soak does not drown the log.
+		lvl := slog.LevelDebug
+		if code == CodeInternal || code == CodeBadRequest {
+			lvl = slog.LevelWarn
+		}
+		s.log.Log(context.Background(), lvl, "request failed",
+			"trace_id", obs.FormatID(rc.traceID), "req_id", rc.reqID,
+			"op", rc.op.String(), "code", status, "err", err.Error())
 	} else {
+		status = "ok"
 		s.met.replies.With("ok").Inc()
-		s.reply(cw, reqID, MsgResult, appendMatrix(nil, m))
+		s.reply(rc.cw, rc.ver, rc.reqID, rc.traceID, MsgResult, appendMatrix(nil, m))
+		rc.rt.ObserveSpan(obs.StageReplyEncode, est, time.Since(est), "")
 	}
-	s.met.e2eLat.With(op.String()).Observe(time.Since(arrived).Seconds())
+	s.met.e2eLat.With(rc.op.String()).Observe(time.Since(rc.arrived).Seconds())
+	rc.rt.Finish(status)
 }
 
 // errStatus names an error code for the replies-by-status counter.
@@ -422,9 +521,11 @@ func validateShapes(req *OpRequest) error {
 }
 
 // execute runs one unbatched request as its own OPQ task on the
-// shared context. Enqueue's recover converts runtime panics into
-// task errors, so a bad request can never take the daemon down.
-func (s *Server) execute(req *OpRequest) (*tensor.Matrix, error) {
+// shared context, threading the request's trace into the engine so
+// queue-wait/charge/exec spans and fault retries land on it. Enqueue's
+// recover converts runtime panics into task errors, so a bad request
+// can never take the daemon down.
+func (s *Server) execute(req *OpRequest, rt *obs.Trace) (*tensor.Matrix, error) {
 	var (
 		a   = s.gx.CreateMatrixBuffer(req.A)
 		out *tensor.Matrix
@@ -433,7 +534,14 @@ func (s *Server) execute(req *OpRequest) (*tensor.Matrix, error) {
 	if req.B != nil {
 		b = s.gx.CreateMatrixBuffer(req.B)
 	}
-	task := s.gx.Enqueue(func(op *gptpu.Op) {
+	// A typed-nil *obs.Trace must become a nil interface, or the
+	// engine would call methods on it believing an observer exists.
+	var to gptpu.TaskObserver
+	if rt != nil {
+		to = rt
+	}
+	rst := time.Now()
+	task := s.gx.EnqueueObserved(to, func(op *gptpu.Op) {
 		switch req.Op {
 		case MsgGemm:
 			out = op.Gemm(a, b)
@@ -451,7 +559,9 @@ func (s *Server) execute(req *OpRequest) (*tensor.Matrix, error) {
 			out = tensor.FromSlice(1, 1, []float32{op.Max(a)})
 		}
 	})
-	if err := task.Wait(); err != nil {
+	err := task.Wait()
+	rt.ObserveSpan(obs.StageRuntime, rst, time.Since(rst), "")
+	if err != nil {
 		return nil, mapRuntimeErr(err)
 	}
 	if out == nil {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 )
@@ -177,13 +178,33 @@ func (s *Server) Close() error { return s.srv.Close() }
 // Handler. It returns once the listener is bound; serving continues in
 // the background until Close.
 func Serve(addr string, r *Registry) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/", r.Handler())
+	return ServeMux(addr, mux)
+}
+
+// ServeMux starts an HTTP server on addr with a caller-built mux, for
+// daemons that mount extra debug surfaces (pprof, /debug/flight)
+// alongside the metrics handler. It returns once the listener is
+// bound; serving continues in the background until Close.
+func ServeMux(addr string, mux *http.ServeMux) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/", r.Handler())
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(l) }()
 	return &Server{l: l, srv: srv, addr: l.Addr().String()}, nil
+}
+
+// AttachPprof mounts the net/http/pprof handlers (/debug/pprof/...)
+// on mux. The default-mux side effect of importing net/http/pprof is
+// contained here: daemons opt in per listener with a -pprof flag
+// instead of always exposing profiles.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

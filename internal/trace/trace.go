@@ -113,6 +113,43 @@ func Export(tl *timing.Timeline, w io.Writer) (int, error) {
 // runs stay visually separate in Perfetto. Untraced timelines are
 // skipped. Returns the number of events written (metadata excluded).
 func ExportAll(tls []*timing.Timeline, w io.Writer) (int, error) {
+	return ExportAllWithRequests(tls, nil, w)
+}
+
+// ReqSpan is one stage interval on a request lane, in wall-clock
+// microseconds relative to the lane group's epoch.
+type ReqSpan struct {
+	Name    string
+	StartUS float64
+	DurUS   float64
+	Args    map[string]any
+}
+
+// ReqMark is a zero-duration instant (fault annotation, retry note)
+// on a request lane.
+type ReqMark struct {
+	Name string
+	AtUS float64
+	Args map[string]any
+}
+
+// ReqLane is one request's lifecycle lane: the span waterfall a
+// serving-path trace recorded. Lanes live in their own process group
+// ("requests") next to the machine/task groups so one Perfetto view
+// correlates device charging with request lifecycles. Request lanes
+// are wall-clock time while machine lanes are virtual time — the two
+// share a file, not a clock, which the process names call out.
+type ReqLane struct {
+	Name  string
+	Spans []ReqSpan
+	Marks []ReqMark
+}
+
+// ExportAllWithRequests is ExportAll plus request lanes: after the
+// per-timeline machine/task process pairs it emits one "requests
+// (wall clock)" process group with one thread lane per request.
+// Returns the number of events written (metadata excluded).
+func ExportAllWithRequests(tls []*timing.Timeline, lanes []ReqLane, w io.Writer) (int, error) {
 	var out []any
 	n, k := 0, 0
 	for _, tl := range tls {
@@ -130,8 +167,32 @@ func ExportAll(tls []*timing.Timeline, w io.Writer) (int, error) {
 		out = append(out, recs...)
 		k++
 	}
-	if k == 0 {
-		return 0, fmt.Errorf("trace: no traced timelines to export")
+	if len(lanes) > 0 {
+		reqPID := 2 * k
+		out = append(out, chromeEvent{Name: "process_name", Ph: "M", Pid: reqPID,
+			Args: map[string]any{"name": "requests (wall clock)"}})
+		for tid, lane := range lanes {
+			out = append(out, chromeEvent{Name: "thread_name", Ph: "M", Pid: reqPID, Tid: tid,
+				Args: map[string]any{"name": lane.Name}})
+			for _, sp := range lane.Spans {
+				out = append(out, chromeEvent{
+					Name: sp.Name, Ph: "X",
+					Ts: ptr(sp.StartUS), Dur: ptr(sp.DurUS),
+					Pid: reqPID, Tid: tid, Args: sp.Args,
+				})
+				n++
+			}
+			for _, m := range lane.Marks {
+				out = append(out, chromeEvent{
+					Name: m.Name, Ph: "i", Ts: ptr(m.AtUS),
+					Pid: reqPID, Tid: tid, S: "t", Args: m.Args,
+				})
+				n++
+			}
+		}
+	}
+	if k == 0 && len(lanes) == 0 {
+		return 0, fmt.Errorf("trace: no traced timelines or request lanes to export")
 	}
 	if err := json.NewEncoder(w).Encode(out); err != nil {
 		return 0, err
