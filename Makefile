@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race ci bench bench-json bench-serve-json bench-kernels bench-kernels-json serve-smoke chaos-smoke obs-smoke fuzz-smoke clean
+.PHONY: all build test vet race ci bench bench-json bench-serve-json bench-kernels bench-kernels-json bench-graph-json serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke clean
 
 all: build
 
@@ -18,7 +18,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet race serve-smoke chaos-smoke obs-smoke fuzz-smoke bench-kernels
+ci: vet race serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke bench-kernels
+
+# graph-smoke is the dataflow-graph gate: the determinism suite (same
+# DAG at 1 vs 8 workers → bit-identical results and virtual makespans,
+# including under a fault plan) plus the app-migration equivalence
+# oracles (graph submission vs per-op serial, bit-exact).
+graph-smoke:
+	$(GO) test -count=1 -run 'TestGraph|TestStreamErrSticky' ./internal/core ./internal/apps/backprop ./internal/apps/pagerank
 
 # serve-smoke builds the gptpu-serve daemon, boots it on an ephemeral
 # port, round-trips a client GEMM, and asserts a clean drain on
@@ -77,6 +84,12 @@ bench-kernels:
 # bench-kernels-json captures the kernel-substrate characterization
 # (naive vs blocked ns/op and GB/s per instruction, plus the dispatch
 # re-run on the optimized substrate) as JSON.
+# bench-graph-json captures the dataflow-graph characterization
+# (whole-DAG submission vs per-op round-trips: wall time, virtual
+# makespan, and device→host bytes at 1–8 workers) as JSON.
+bench-graph-json:
+	$(GO) run ./cmd/gptpu-bench -exp graph -format json > BENCH_PR7.json
+
 bench-kernels-json:
 	$(GO) run ./cmd/gptpu-bench -exp kernels -full -format json > BENCH_PR5.json
 

@@ -233,6 +233,28 @@ func (o *Op) Crop(a *Buffer, r0, c0, rows, cols int) *tensor.Matrix {
 // Ext zero-pads to the target dimensionality.
 func (o *Op) Ext(a *Buffer, rows, cols int) *tensor.Matrix { return o.s.Ext(a, rows, cols) }
 
+// Graph is a dataflow DAG over the runtime's instructions: build
+// nodes with chained operators over buffers and other nodes, then
+// Submit the whole graph as one unit. Intermediates between device
+// nodes stay in on-chip memory — no download, no host re-encode —
+// while functional results remain bit-identical to per-op execution.
+//
+//	g := ctx.NewGraph()
+//	out := g.MatMul(a, b).Add(c).Tanh()
+//	if err := g.Submit(); err != nil { ... }
+//	m, _ := out.Result()
+type Graph = core.Graph
+
+// GraphNode is the symbolic handle for one graph operation's output.
+type GraphNode = core.Node
+
+// GraphValue is anything a graph node consumes: a *Buffer or an
+// upstream *GraphNode.
+type GraphValue = core.Value
+
+// NewGraph opens an empty dataflow graph on this context.
+func (x *Context) NewGraph() *Graph { return x.c.NewGraph() }
+
 // Task is an enqueued kernel instance (openctpu_enqueue's return).
 type Task = core.Task
 
@@ -307,6 +329,13 @@ var (
 	ErrTransient = edgetpu.ErrTransient
 	// ErrNoDevices means every Edge TPU in the pool has failed.
 	ErrNoDevices = core.ErrNoDevices
+	// ErrUpstream marks a graph node poisoned by a failed dependency:
+	// the node never executed. Unwrap with errors.Is to find the root
+	// failure class.
+	ErrUpstream = core.ErrUpstream
+	// ErrOnChip is returned by GraphNode.Result for intermediates that
+	// stayed in on-chip memory (call Fetch before Submit to download).
+	ErrOnChip = core.ErrOnChip
 )
 
 // Close retires the dispatch engine's worker goroutines. Optional —

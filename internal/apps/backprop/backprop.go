@@ -18,6 +18,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/gpusim"
 	"repro/internal/tensor"
+	"repro/internal/timing"
 )
 
 // LearningRate for the single update step, applied per sample (the
@@ -117,8 +118,109 @@ func RunCPU(cpu *blas.CPU, threads int, cfg Config, w *Workload) (*Result, apps.
 	return res, apps.Metrics{Elapsed: cpu.Elapsed(), Energy: cpu.Energy()}
 }
 
-// RunTPU executes the GPTPU training pass.
+// RunTPU executes the GPTPU training pass as one dataflow-graph
+// submission: every Gemm/Tanh/Add is a device node, every host step
+// (the tanh→sigmoid shift, error deltas, learning-rate scaling) a
+// HostOp node with the same charged CPU cost the per-op path pays.
+// The whole pass enters the engine through a single Submit, and its
+// weight results are bit-identical to RunTPUSerial.
 func RunTPU(ctx *gptpu.Context, cfg Config, w *Workload) (*Result, apps.Metrics, error) {
+	functional := ctx.Core().Functional()
+	if w == nil {
+		w = &Workload{
+			X:      tensor.New(cfg.Batch, cfg.In),
+			W1:     tensor.New(cfg.In, cfg.Hidden),
+			W2:     tensor.New(cfg.Hidden, cfg.out()),
+			Target: tensor.New(cfg.Batch, cfg.out()),
+		}
+	}
+	core := ctx.Core()
+	params := core.Params()
+	agg := func(elems int64) timing.Duration { return params.AggTime(elems) }
+
+	bx := ctx.CreateMatrixBuffer(w.X)
+	bw1 := ctx.CreateMatrixBuffer(w.W1)
+	bw2 := ctx.CreateMatrixBuffer(w.W2)
+	// Static transposes of workload tensors are host-prepared buffers,
+	// exactly as the per-op path builds them (uncharged input prep).
+	bw2t := ctx.CreateMatrixBuffer(transposeOrShape(w.W2, functional))
+	bxt := ctx.CreateMatrixBuffer(transposeOrShape(w.X, functional))
+
+	g := ctx.NewGraph()
+
+	// Forward: FullyConnected layers with the tanh-realized sigmoid.
+	h1lin := g.MatMul(bx, bw1)
+	h1half := g.HostOp("scaleHalf", cfg.Batch, cfg.Hidden, 0,
+		func(in []*tensor.Matrix) *tensor.Matrix {
+			out := in[0].Clone()
+			out.Scale(0.5)
+			return out
+		}, h1lin)
+	h1tanh := g.Tanh(h1half)
+	h1 := g.HostOp("sigmoidShift", cfg.Batch, cfg.Hidden, agg(int64(cfg.Batch)*int64(cfg.Hidden)),
+		func(in []*tensor.Matrix) *tensor.Matrix { return sigmoidFromTanh(in[0]) }, h1tanh)
+	y := g.MatMul(h1, bw2)
+
+	// Host: output delta (y - target).
+	dY := g.HostOp("outputDelta", cfg.Batch, cfg.out(), agg(int64(cfg.Batch)*int64(cfg.out())),
+		func(in []*tensor.Matrix) *tensor.Matrix {
+			out := tensor.New(in[0].Rows, in[0].Cols)
+			for i := range in[0].Data {
+				out.Data[i] = in[0].Data[i] - w.Target.Data[i]
+			}
+			return out
+		}, y)
+
+	// Backward: tpuGemm derives the weight deltas.
+	h1t := g.HostOp("transposeH1", cfg.Hidden, cfg.Batch, 0,
+		func(in []*tensor.Matrix) *tensor.Matrix { return in[0].Transpose() }, h1)
+	dW2 := g.MatMul(h1t, dY)
+	dH := g.MatMul(dY, bw2t)
+	dHs := g.HostOp("sigmoidGrad", cfg.Batch, cfg.Hidden, agg(int64(cfg.Batch)*int64(cfg.Hidden)),
+		func(in []*tensor.Matrix) *tensor.Matrix {
+			out := in[0].Clone()
+			for i, v := range in[1].Data {
+				out.Data[i] *= v * (1 - v) // sigmoid derivative
+			}
+			return out
+		}, dH, h1)
+	dW1 := g.MatMul(bxt, dHs)
+
+	// Weight update: add of the (-lr)-scaled deltas.
+	lr := LearningRate / float32(cfg.Batch)
+	scaleLR := func(in []*tensor.Matrix) *tensor.Matrix {
+		out := in[0].Clone()
+		out.Scale(-lr)
+		return out
+	}
+	upd1 := g.HostOp("scaleLR1", cfg.In, cfg.Hidden, agg(int64(cfg.In)*int64(cfg.Hidden)), scaleLR, dW1)
+	upd2 := g.HostOp("scaleLR2", cfg.Hidden, cfg.out(), agg(int64(cfg.Hidden)*int64(cfg.out())), scaleLR, dW2)
+	nw1 := g.Add(bw1, upd1)
+	nw2 := g.Add(bw2, upd2)
+
+	if err := g.Submit(); err != nil {
+		return nil, apps.Metrics{}, err
+	}
+	var res *Result
+	if functional {
+		m1, err := nw1.Result()
+		if err != nil {
+			return nil, apps.Metrics{}, err
+		}
+		m2, err := nw2.Result()
+		if err != nil {
+			return nil, apps.Metrics{}, err
+		}
+		res = &Result{W1: m1, W2: m2}
+	}
+	return res, apps.Metrics{Elapsed: ctx.Elapsed(), Energy: ctx.Energy()}, nil
+}
+
+// RunTPUSerial is the pre-graph per-op execution path: each operator
+// round-trips its result through the host. Kept as the equivalence
+// oracle for RunTPU and as the baseline the graph benchmark compares
+// against.
+func RunTPUSerial(ctx *gptpu.Context, cfg Config, w *Workload) (*Result, apps.Metrics, error) {
 	functional := ctx.Core().Functional()
 	if w == nil {
 		w = &Workload{

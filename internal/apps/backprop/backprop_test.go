@@ -102,3 +102,51 @@ func TestRunGPU(t *testing.T) {
 		t.Fatal("no GPU time charged")
 	}
 }
+
+// TestGraphMatchesSerial is the migration equivalence oracle: the
+// single-Submit graph pass must reproduce the per-op serial pass
+// bit-for-bit, at one worker and at eight.
+func TestGraphMatchesSerial(t *testing.T) {
+	cfg := Config{Batch: 96, In: 64, Hidden: 48, Out: 8, Seed: 9}
+	w := cfg.Generate()
+	serial, _, err := RunTPUSerial(gptpu.Open(gptpu.Config{}), cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		graph, _, err := RunTPU(gptpu.Open(gptpu.Config{DispatchWorkers: workers}), cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range []struct {
+			name     string
+			got, ref *tensor.Matrix
+		}{{"W1", graph.W1, serial.W1}, {"W2", graph.W2, serial.W2}} {
+			if len(pair.got.Data) != len(pair.ref.Data) {
+				t.Fatalf("workers=%d %s: size %d vs %d", workers, pair.name, len(pair.got.Data), len(pair.ref.Data))
+			}
+			for i := range pair.got.Data {
+				if pair.got.Data[i] != pair.ref.Data[i] {
+					t.Fatalf("workers=%d %s[%d]: graph %v vs serial %v", workers, pair.name, i, pair.got.Data[i], pair.ref.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGraphTimingOnly pins that the graph pass still works shape-only
+// (nil functional data) and charges device time like the serial path.
+func TestGraphTimingOnly(t *testing.T) {
+	cfg := Config{Batch: 256, In: 256, Hidden: 256, Out: 16, Seed: 5}
+	ctx := gptpu.Open(gptpu.Config{TimingOnly: true})
+	res, m, err := RunTPU(ctx, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatal("timing-only run must not return functional weights")
+	}
+	if m.Elapsed <= 0 {
+		t.Fatal("no virtual time charged")
+	}
+}

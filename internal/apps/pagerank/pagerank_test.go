@@ -160,3 +160,46 @@ func TestPowerLawGraphIsSkewed(t *testing.T) {
 		t.Fatalf("power-law ranks sum to %v", total)
 	}
 }
+
+// TestGraphMatchesSerial is the migration equivalence oracle: the
+// single-Submit graph run (all iterations in one DAG) must reproduce
+// the per-op serial loop bit-for-bit, at one worker and at eight.
+func TestGraphMatchesSerial(t *testing.T) {
+	cfg := Config{N: 128, Iters: 12, Degree: 6, PowerLaw: true, Seed: 7}
+	g := cfg.Generate()
+	serial, _, err := RunTPUSerial(gptpu.Open(gptpu.Config{}), cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		graph, _, err := RunTPU(gptpu.Open(gptpu.Config{DispatchWorkers: workers}), cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(graph) != len(serial) {
+			t.Fatalf("workers=%d: rank length %d vs %d", workers, len(graph), len(serial))
+		}
+		for i := range graph {
+			if graph[i] != serial[i] {
+				t.Fatalf("workers=%d rank[%d]: graph %v vs serial %v", workers, i, graph[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestGraphTimingOnly pins the shape-only path of the graph run.
+func TestGraphTimingOnly(t *testing.T) {
+	cfg := Config{N: 256, Iters: 5, Seed: 3}
+	g := cfg.Generate()
+	ctx := gptpu.Open(gptpu.Config{TimingOnly: true})
+	rank, m, err := RunTPU(ctx, cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rank) != cfg.N {
+		t.Fatalf("rank length %d", len(rank))
+	}
+	if m.Elapsed <= 0 {
+		t.Fatal("no virtual time charged")
+	}
+}

@@ -240,8 +240,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown id must not resolve")
 	}
-	if len(All()) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(All()))
+	if len(All()) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(All()))
 	}
 }
 

@@ -135,6 +135,7 @@ func All() []Experiment {
 		{"dispatch", "IQ dispatch engine: serial vs parallel wall time", Dispatch},
 		{"serve", "Serving layer: micro-batched vs unbatched GEMM throughput", Serve},
 		{"kernels", "Kernel substrate: naive vs blocked int8 compute", Kernels},
+		{"graph", "Dataflow graph: whole-DAG submission vs per-op round-trips", GraphBench},
 	}
 }
 

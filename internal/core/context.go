@@ -336,6 +336,10 @@ type Stats struct {
 	// RetryBudgetExhausted counts instructions failed because their
 	// dispatch retry budget ran out.
 	RetryBudgetExhausted int64
+	// GraphSubmits/GraphNodes count dataflow-graph submissions and the
+	// nodes they executed; GraphChipIntermediates counts node outputs
+	// that stayed in on-chip memory instead of round-tripping the host.
+	GraphSubmits, GraphNodes, GraphChipIntermediates int64
 }
 
 // Stats returns the current scheduler statistics.
@@ -365,6 +369,9 @@ func (c *Context) Stats() Stats {
 	st.DeviceLostRetries = int64(c.met.lostRetries.Value())
 	st.TransientRetries = int64(c.met.transientRetries.Value())
 	st.RetryBudgetExhausted = int64(c.met.retryExhausted.Value())
+	st.GraphSubmits = int64(c.met.graphSubmits.Value())
+	st.GraphNodes = int64(c.met.graphNodes.Value())
+	st.GraphChipIntermediates = int64(c.met.graphChipEdges.Value())
 	return st
 }
 
@@ -388,12 +395,31 @@ type Buffer struct {
 	// buffers from remote bytes outside any Enqueue recover.
 	invalid error
 
+	// chip marks the buffer as a dataflow-graph intermediate that was
+	// produced by a device instruction and never left on-chip memory:
+	// the host holds only a shadow copy for functional equivalence.
+	// Consumers on the holding device read it for free; the Tensorizer
+	// charges no host time for it (there is no host materialization to
+	// transform). Set once at creation by Graph.Submit, before any
+	// consumer can observe the buffer.
+	chip *chipResidency
+
 	mu           sync.Mutex
 	quantized    bool
 	qp           quant.Params
 	q            *tensor.MatrixI8
 	readyAt      timing.Duration
 	derivedForms map[string]*derived
+}
+
+// chipRef returns the buffer's on-chip residency, nil for ordinary
+// host buffers. Operators attach it to the inputRefs they plan so the
+// charge phase can skip (or honestly re-charge) the upload.
+func (b *Buffer) chipRef() *chipResidency {
+	if b == nil {
+		return nil
+	}
+	return b.chip
 }
 
 // ErrBadInput is the sticky operator error for host data the runtime
@@ -452,6 +478,27 @@ func (c *Context) ensureQuantized(b *Buffer, ready timing.Duration, task int) (q
 	defer b.mu.Unlock()
 	if b.quantized {
 		c.met.quantCacheHits.Inc()
+		at := b.readyAt
+		if ready > at {
+			at = ready
+		}
+		return b.qp, b.q, at
+	}
+	if b.chip != nil {
+		// Graph intermediate: the value was produced on-device and never
+		// materialized on the host, so there is no quantize/encode pass to
+		// charge — it becomes usable the moment its producer finished.
+		// The quantization parameters are still derived (from the host
+		// shadow) so downstream functional math is bit-identical to the
+		// per-op path, which re-quantizes the downloaded result the same
+		// way.
+		b.qp = quant.Params{Scale: 1}
+		if c.opts.Functional {
+			b.qp = quant.ParamsFor(b.M)
+			b.q = quant.QuantizeWith(b.M, b.qp)
+		}
+		b.quantized = true
+		b.readyAt = b.chip.ready
 		at := b.readyAt
 		if ready > at {
 			at = ready

@@ -53,6 +53,11 @@ type runtimeMetrics struct {
 	// Failure-path retries in the charge phase.
 	transientRetries *telemetry.Counter
 	retryExhausted   *telemetry.Counter
+
+	// Dataflow graphs.
+	graphSubmits   *telemetry.Counter
+	graphNodes     *telemetry.Counter
+	graphChipEdges *telemetry.Counter
 }
 
 func newRuntimeMetrics(reg *telemetry.Registry) *runtimeMetrics {
@@ -103,5 +108,11 @@ func newRuntimeMetrics(reg *telemetry.Registry) *runtimeMetrics {
 			"Instructions retried (with virtual backoff) after an injected transient fault.").With(),
 		retryExhausted: reg.Counter("gptpu_retry_budget_exhausted_total",
 			"Instructions failed because the dispatch retry budget ran out.").With(),
+		graphSubmits: reg.Counter("gptpu_graph_submits_total",
+			"Dataflow graphs submitted.").With(),
+		graphNodes: reg.Counter("gptpu_graph_nodes_total",
+			"Dataflow-graph nodes executed (all kinds).").With(),
+		graphChipEdges: reg.Counter("gptpu_graph_onchip_intermediates_total",
+			"Graph intermediates that stayed in on-chip memory (no host round trip).").With(),
 	}
 }

@@ -81,8 +81,8 @@ func (s *Stream) Conv2D(a *Buffer, kernel *Buffer) *tensor.Matrix {
 				TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor(),
 			},
 			inputs: []inputRef{
-				{key: mix(a.key, 2000000+uint64(i)), bytes: int64(exR * exC)},
-				{key: kernel.key, bytes: int64(kernel.M.Elems())},
+				{key: mix(a.key, 2000000+uint64(i)), bytes: int64(exR * exC), chip: a.chipRef()},
+				{key: kernel.key, bytes: int64(kernel.M.Elems()), chip: kernel.chipRef()},
 			},
 			outBytes: int64(sp.Rows * sp.Cols), // requantized int8 results
 			ready:    ready,
@@ -178,8 +178,8 @@ func (s *Stream) Conv2DStrided(a, kernel *Buffer, strideR, strideC int) *tensor.
 				TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor(),
 			},
 			inputs: []inputRef{
-				{key: mix(a.key, 5000000+uint64(o0)), bytes: int64(bandRows) * int64(a.Cols())},
-				{key: kernel.key, bytes: int64(kernel.M.Elems())},
+				{key: mix(a.key, 5000000+uint64(o0)), bytes: int64(bandRows) * int64(a.Cols()), chip: a.chipRef()},
+				{key: kernel.key, bytes: int64(kernel.M.Elems()), chip: kernel.chipRef()},
 			},
 			outBytes: int64(oEnd-o0) * int64(outCols),
 			ready:    ready,

@@ -88,7 +88,7 @@ func (s *Stream) MatVec(a *Buffer, x []float32) []float32 {
 			// The weight block was quantized when the buffer was first
 			// used; it can prefetch over the link before the fresh
 			// vector is ready.
-			{key: mix(a.key, 3000000+uint64(r0)), bytes: int64(rows) * int64(n), ready: readyA},
+			{key: mix(a.key, 3000000+uint64(r0)), bytes: int64(rows) * int64(n), ready: readyA, chip: a.chipRef()},
 			{key: xKey, bytes: int64(n)},
 		}
 		instr := isa.Instruction{
@@ -200,9 +200,10 @@ func (s *Stream) MatMulFC(a, b *Buffer) *tensor.Matrix {
 				inputs = append(inputs, inputRef{
 					key:   mix(a.key, 3000000+uint64(rt*colTiles+ct)),
 					bytes: int64(rows) * int64(segLen(n, ct, tile)),
+					chip:  a.chipRef(),
 				})
 			}
-			inputs = append(inputs, inputRef{key: mix(b.key, 4000000+uint64(j)), bytes: int64(n)})
+			inputs = append(inputs, inputRef{key: mix(b.key, 4000000+uint64(j)), bytes: int64(n), chip: b.chipRef()})
 			w := instrWork{
 				instr: isa.Instruction{
 					Op: isa.FullyConnected, InRows: rows, InCols: tile,
@@ -388,8 +389,11 @@ func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
 						TaskID: s.taskID, InputKey: da.key, QuantFlags: c.quantFlagsFor(),
 					},
 					inputs: []inputRef{
-						{key: mix(da.key, uint64(r0)), bytes: int64(rows) * int64(n2)},
-						{key: mix(db.key, uint64(c0)), bytes: int64(nch) * int64(n2)},
+						// Derived conv layouts of an on-chip intermediate
+						// inherit its residency: the reshaping is the
+						// simulation's bookkeeping, not a host round trip.
+						{key: mix(da.key, uint64(r0)), bytes: int64(rows) * int64(n2), chip: a.chipRef()},
+						{key: mix(db.key, uint64(c0)), bytes: int64(nch) * int64(n2), chip: b.chipRef()},
 					},
 					// Partials return as dual-portion int16 pairs: wide
 					// enough for exact CPU aggregation at 1/254^2

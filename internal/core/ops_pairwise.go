@@ -110,8 +110,8 @@ func (s *Stream) pairwise(op isa.OpCode, a, b *Buffer) *tensor.Matrix {
 				TaskID: s.taskID, InputKey: keyA, QuantFlags: c.quantFlagsFor(),
 			},
 			inputs: []inputRef{
-				{key: mix(keyA, uint64(i)), bytes: int64(sp.Rows * sp.Cols)},
-				{key: mix(keyB, uint64(i)), bytes: int64(sp.Rows * sp.Cols)},
+				{key: mix(keyA, uint64(i)), bytes: int64(sp.Rows * sp.Cols), chip: a.chipRef()},
+				{key: mix(keyB, uint64(i)), bytes: int64(sp.Rows * sp.Cols), chip: b.chipRef()},
 			},
 			outBytes: int64(sp.Rows * sp.Cols), // int8 result tiles
 			ready:    ready,
@@ -215,7 +215,7 @@ func (s *Stream) elementwise(op isa.OpCode, a *Buffer) *tensor.Matrix {
 				Op: op, InRows: sp.Rows, InCols: sp.Cols,
 				TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor(),
 			},
-			inputs:   []inputRef{{key: mix(a.key, uint64(i)), bytes: int64(sp.Rows * sp.Cols)}},
+			inputs:   []inputRef{{key: mix(a.key, uint64(i)), bytes: int64(sp.Rows * sp.Cols), chip: a.chipRef()}},
 			outBytes: int64(sp.Rows * sp.Cols),
 			ready:    ready,
 		}
@@ -298,7 +298,7 @@ func (s *Stream) reduce(op isa.OpCode, a *Buffer) float32 {
 				Op: op, InRows: sp.Rows, InCols: sp.Cols,
 				TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor(),
 			},
-			inputs:   []inputRef{{key: mix(a.key, 1000000+uint64(i)), bytes: int64(sp.Rows * sp.Cols)}},
+			inputs:   []inputRef{{key: mix(a.key, 1000000+uint64(i)), bytes: int64(sp.Rows * sp.Cols), chip: a.chipRef()}},
 			outBytes: outBytes,
 			ready:    ready,
 		}
@@ -393,7 +393,7 @@ func (s *Stream) Crop(a *Buffer, r0, c0, rows, cols int) *tensor.Matrix {
 	w := instrWork{
 		instr: isa.Instruction{Op: isa.Crop, InRows: a.Rows(), InCols: a.Cols(),
 			TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor()},
-		inputs:   []inputRef{{key: a.key, bytes: int64(a.M.Elems())}},
+		inputs:   []inputRef{{key: a.key, bytes: int64(a.M.Elems()), chip: a.chipRef()}},
 		outBytes: int64(rows * cols),
 		ready:    ready,
 	}
@@ -434,7 +434,7 @@ func (s *Stream) Ext(a *Buffer, rows, cols int) *tensor.Matrix {
 	w := instrWork{
 		instr: isa.Instruction{Op: isa.Ext, InRows: a.Rows(), InCols: a.Cols(),
 			TaskID: s.taskID, InputKey: a.key, QuantFlags: c.quantFlagsFor()},
-		inputs:   []inputRef{{key: a.key, bytes: int64(a.M.Elems())}},
+		inputs:   []inputRef{{key: a.key, bytes: int64(a.M.Elems()), chip: a.chipRef()}},
 		outBytes: int64(rows * cols),
 		ready:    ready,
 	}

@@ -19,9 +19,44 @@ type inputRef struct {
 	bytes int64
 	// ready is when this operand's host-side form exists; zero means
 	// the instruction's own ready time. Operands quantized earlier
-	// (e.g. a resident weight matrix) can prefetch over the link while
-	// the device still executes prior work.
+	// (e.g. a resident weight matrix) can prefetch over the link they
+	// cross while the device still executes prior work.
 	ready timing.Duration
+	// chip marks the operand as a dataflow-graph intermediate living in
+	// on-chip memory. An instruction landing on the device that holds
+	// it skips the upload entirely; landing elsewhere (a segmented
+	// chain, or after the holder died) ships the operand at its true
+	// byte size.
+	chip *chipResidency
+}
+
+// graphHome is the placement cell one graph chain (or chain segment)
+// shares: the first pinned instruction charged sets it, every later
+// instruction of the chain follows it, and pickDevice rebinds it when
+// the home device leaves the pool. gen counts rebinds — intermediates
+// produced under an older generation died with their device, so their
+// consumers must re-ship them from the host shadow. Mutated only in
+// pickDevice (under Context.mu) and read only from the serialized
+// charge phase, so the engine lock orders every access.
+type graphHome struct {
+	id  int
+	set bool
+	gen int
+}
+
+// chipResidency records where one graph intermediate lives: its
+// chain's home cell, the home generation it was produced under, and
+// the virtual time it became available on-chip.
+type chipResidency struct {
+	home  *graphHome
+	gen   int
+	ready timing.Duration
+}
+
+// held reports whether the intermediate is still on device d: the home
+// cell must name d and must not have rebound since production.
+func (cr *chipResidency) held(d int) bool {
+	return cr.home.set && cr.home.id == d && cr.home.gen == cr.gen
 }
 
 // instrWork is one IQ entry ready for dispatch: the instruction, its
@@ -35,6 +70,13 @@ type instrWork struct {
 	ready    timing.Duration // earliest issue time (host data ready)
 	fn       func()
 	obs      TaskObserver // per-request observer, nil for unobserved tasks
+	// home pins the instruction to its graph chain's device (nil = the
+	// normal affinity/FCFS placement). rehomed is set by pickDevice
+	// when the pinned device left the pool and the cell rebound: the
+	// chain's on-chip intermediates died with the device, so tryOn
+	// re-ships them from their host shadows at full size.
+	home    *graphHome
+	rehomed bool
 }
 
 func (w *instrWork) n() int {
@@ -53,6 +95,32 @@ func (w *instrWork) n() int {
 func (c *Context) pickDevice(w *instrWork, healthy []*edgetpu.Device) *edgetpu.Device {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Graph chain pinning overrides the per-instruction policy: every
+	// instruction of a chain (segment) lands on the chain's home device
+	// so its on-chip intermediates are actually where the zero-cost
+	// operand reads assume they are. The first pinned instruction
+	// elects the home FCFS; if the home device later leaves the pool
+	// the cell rebinds and the instruction is marked rehomed, making
+	// tryOn re-upload the chain's intermediates from the host.
+	if w.home != nil {
+		if w.home.set {
+			for _, d := range healthy {
+				if d.ID == w.home.id {
+					c.met.affinityHits.Inc()
+					return d
+				}
+			}
+			w.rehomed = true
+			w.home.gen++
+			c.met.affinityRebinds.Inc()
+		} else {
+			c.met.fcfsFallbacks.Inc()
+		}
+		best := c.fcfsLocked(healthy)
+		w.home.id = best.ID
+		w.home.set = true
+		return best
+	}
 	// Affinity keys on the primary operand only (the large model/tile
 	// input); keying on small shared operands like an iteration vector
 	// would collapse every instruction onto one device.
@@ -81,7 +149,16 @@ func (c *Context) pickDevice(w *instrWork, healthy []*edgetpu.Device) *edgetpu.D
 	} else {
 		c.met.fcfsFallbacks.Inc()
 	}
-	// FCFS: earliest-available compute unit, round-robin on ties.
+	best := c.fcfsLocked(healthy)
+	if keyed {
+		c.affinity[k] = best.ID
+	}
+	return best
+}
+
+// fcfsLocked picks the earliest-available compute unit, round-robin on
+// ties; c.mu must be held.
+func (c *Context) fcfsLocked(healthy []*edgetpu.Device) *edgetpu.Device {
 	best := healthy[c.rr%len(healthy)]
 	for i := 1; i < len(healthy); i++ {
 		d := healthy[(c.rr+i)%len(healthy)]
@@ -90,9 +167,6 @@ func (c *Context) pickDevice(w *instrWork, healthy []*edgetpu.Device) *edgetpu.D
 		}
 	}
 	c.rr++
-	if keyed {
-		c.affinity[k] = best.ID
-	}
 	return best
 }
 
@@ -103,6 +177,29 @@ func (c *Context) tryOn(d *edgetpu.Device, w *instrWork) (timing.Duration, error
 		ready := in.ready
 		if ready == 0 {
 			ready = w.ready
+		}
+		if in.chip != nil && !w.rehomed {
+			if in.chip.held(d.ID) {
+				// The operand is a graph intermediate already sitting in
+				// this device's on-chip memory: no transfer, no host
+				// round trip.
+				continue
+			}
+			if in.chip.held(in.chip.home.id) {
+				// Segment boundary: the intermediate lives on another
+				// device of the chain. Ship it device→host→device —
+				// download off the holder, then the upload below onto d.
+				// Charged only when segmentation (or a racing fault)
+				// actually splits a chain; a rebound home (stale
+				// generation) has nothing to download, so the host shadow
+				// re-uploads alone.
+				if src := c.deviceByID(in.chip.home.id); src != nil && src.Healthy() && src.ID != d.ID && !d.Resident(in.key) {
+					t, err := src.DownloadSpan(in.bytes, ready, sp)
+					if err == nil && t > ready {
+						ready = t
+					}
+				}
+			}
 		}
 		t, err := d.UploadSpan(in.key, in.bytes, ready, sp)
 		if err != nil {
@@ -122,6 +219,14 @@ func (c *Context) tryOn(d *edgetpu.Device, w *instrWork) (timing.Duration, error
 	}
 	c.TL.Observe(at)
 	return at, nil
+}
+
+// deviceByID returns the pool device with the given ID, or nil.
+func (c *Context) deviceByID(id int) *edgetpu.Device {
+	if id < 0 || id >= len(c.Pool.Devices) {
+		return nil
+	}
+	return c.Pool.Devices[id]
 }
 
 // chargeHost charges d units of runtime-CPU work ready at the given

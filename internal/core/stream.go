@@ -23,6 +23,14 @@ type Stream struct {
 	now    timing.Duration
 	err    error
 	obs    TaskObserver // nil unless the task was enqueued observed
+
+	// Graph-node execution mode (set by Graph.Submit, never by user
+	// code). pin routes every instruction of the node to its chain's
+	// home device; onChip suppresses the result download and the host
+	// dequantization epilogue because the node's output stays in
+	// on-chip memory for a downstream node.
+	pin    *graphHome
+	onChip bool
 }
 
 // NewStream opens an independent serial operation chain.
@@ -34,7 +42,17 @@ func (c *Context) NewStream() *Stream {
 // last operation.
 func (s *Stream) Now() timing.Duration { return s.now }
 
-// Err returns the first error the stream encountered, if any.
+// Err returns the first error the stream encountered, if any. The
+// error is sticky: once any operation on the stream fails — a poisoned
+// input buffer (ErrBadInput), a retry budget exhausted mid-chain
+// (ErrRetryBudget), the pool running out of healthy devices
+// (ErrNoDevices), or the context closing underneath it (ErrClosed) —
+// every later operation on the same stream is a no-op returning
+// zero-value results, and Err keeps reporting the *first* failure, not
+// the last. Callers therefore check Err once, after the chain, and get
+// the root cause rather than a cascade symptom. Graph execution builds
+// its downstream poisoning on this contract: a failed node's
+// dependents fail with ErrUpstream instead of computing on garbage.
 func (s *Stream) Err() error { return s.err }
 
 // Context returns the owning context.
@@ -120,6 +138,18 @@ func (p *plan) submit() *pending {
 			p.works[i].obs = p.s.obs
 		}
 	}
+	if p.s.pin != nil {
+		for i := range p.works {
+			p.works[i].home = p.s.pin
+		}
+	}
+	if p.s.onChip {
+		// The node's result feeds another on-device node: it stays in
+		// on-chip memory, so no result bytes cross the interconnect.
+		for i := range p.works {
+			p.works[i].outBytes = 0
+		}
+	}
 	p.s.c.engine().submit(p.works, &pd.bt)
 	return pd
 }
@@ -148,8 +178,13 @@ func (pd *pending) collect() (end timing.Duration, ok bool) {
 
 // finish charges the operator's host-side epilogue (CPU aggregation,
 // dequantization) after the collected batch and advances the stream
-// clock past it.
+// clock past it. A node whose result stays on-chip has no host-side
+// result to dequantize, so the epilogue is skipped entirely.
 func (s *Stream) finish(end, epilogue timing.Duration) {
+	if s.onChip {
+		s.advance(end)
+		return
+	}
 	s.advance(s.c.chargeHost(end, epilogue))
 }
 
@@ -195,6 +230,23 @@ func (c *Context) derivedQuant(b *Buffer, tag string, scale float32, elems int64
 			d2.readyAt = ready
 			return &d2
 		}
+		return d
+	}
+	if b.chip != nil {
+		// Derived form of a graph intermediate: the source never left the
+		// device, so no host transformation is charged (mirrors
+		// ensureQuantized). The int8 form is still built from the host
+		// shadow for bit-exact functional equivalence with the per-op
+		// path.
+		at := b.chip.ready
+		if ready > at {
+			at = ready
+		}
+		d := &derived{key: c.nextKey(), scale: scale, readyAt: at}
+		if c.opts.Functional && build != nil {
+			d.q = build()
+		}
+		b.derivedForms[tag] = d
 		return d
 	}
 	c.met.quantCacheMisses.Inc()

@@ -31,12 +31,14 @@ func TestPrometheusGolden(t *testing.T) {
 	r := New(Config{})
 	r.Export(reg)
 
-	// 100 identical traces: decode 2µs, exec 10µs, queue_wait 5µs per
-	// request. Every quantile of a constant population is the constant.
+	// 100 identical traces: decode 2µs, exec 10µs, graph-node 20µs,
+	// queue_wait 5µs per request. Every quantile of a constant
+	// population is the constant.
 	for i := 0; i < 100; i++ {
 		traceWithStages(r, map[string]time.Duration{
 			StageDecode:    2 * time.Microsecond,
 			StageExec:      10 * time.Microsecond,
+			StageNode:      20 * time.Microsecond,
 			StageQueueWait: 5 * time.Microsecond,
 		})
 	}
@@ -62,6 +64,9 @@ func TestPrometheusGolden(t *testing.T) {
 		`gptpu_obs_stage_seconds{stage="exec",quantile="0.5"} 1e-05`,
 		`gptpu_obs_stage_seconds{stage="exec",quantile="0.99"} 1e-05`,
 		`gptpu_obs_stage_seconds{stage="exec",quantile="0.999"} 1e-05`,
+		`gptpu_obs_stage_seconds{stage="node",quantile="0.5"} 2e-05`,
+		`gptpu_obs_stage_seconds{stage="node",quantile="0.99"} 2e-05`,
+		`gptpu_obs_stage_seconds{stage="node",quantile="0.999"} 2e-05`,
 		`gptpu_obs_stage_seconds{stage="queue_wait",quantile="0.5"} 5e-06`,
 		`gptpu_obs_stage_seconds{stage="queue_wait",quantile="0.99"} 5e-06`,
 		`gptpu_obs_stage_seconds{stage="queue_wait",quantile="0.999"} 5e-06`,

@@ -42,6 +42,7 @@ const (
 	StageQueueWait    = "queue_wait"    // engine: OPQ instruction-queue wait
 	StageCharge       = "charge"        // engine: device charge incl. fault retries
 	StageExec         = "exec"          // engine: functional execution
+	StageNode         = "node"          // engine: one dataflow-graph node, end to end
 	StageRuntime      = "runtime"       // server: enqueue → task completion wall time
 	StageReplyEncode  = "reply_encode"  // server: reply frame build + write
 	StageTotal        = "total"         // arrival → reply written

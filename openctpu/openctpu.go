@@ -140,6 +140,12 @@ func (c *Context) Context() *gptpu.Context { return c.ctx }
 // code needs the same observability as idiomatic code.
 func (c *Context) Metrics() *telemetry.Registry { return c.ctx.Metrics() }
 
+// NewGraph opens a dataflow graph on the underlying runtime: the
+// whole-DAG submission path (intermediates stay on-chip, one Submit).
+// The C API predates graphs, so this is an escape hatch in the style
+// of Context()/Metrics(); build and submit via the gptpu.Graph API.
+func (c *Context) NewGraph() *gptpu.Graph { return c.ctx.NewGraph() }
+
 // CreateBuffer mirrors openctpu_create_buffer: "creates an input data
 // buffer for TPU kernels" over raw host data.
 func (c *Context) CreateBuffer(dim *Dimension, data []float32) *Buffer {

@@ -133,3 +133,63 @@ func TestWaitUnknownTask(t *testing.T) {
 		t.Fatal("unknown task id must error")
 	}
 }
+
+// TestGraphEscapeHatch: the NewGraph escape hatch submits a whole DAG
+// through the transliterated context and matches the per-op shim
+// result bit-for-bit (same runtime, same quantization path).
+func TestGraphEscapeHatch(t *testing.T) {
+	const size = 96
+	rng := rand.New(rand.NewSource(9))
+	am := tensor.RandUniform(rng, size, size, -2, 2)
+	bm := tensor.RandUniform(rng, size, size, -2, 2)
+
+	// Per-op reference through the shim.
+	ref := Init(1)
+	ad := AllocDimension(2, size, size)
+	ta := ref.CreateBuffer(ad, am.Data)
+	tb := ref.CreateBuffer(ad, bm.Data)
+	tc := NewOutput(ad)
+	td := NewOutput(ad)
+	id := ref.Enqueue(func(op *Invoker, args ...*Buffer) {
+		if err := op.InvokeOperator(Gemm, SCALE, args[0], args[1], args[2]); err != nil {
+			t.Error(err)
+		}
+	}, ta, tb, tc)
+	if err := ref.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	mid := ref.CreateBuffer(ad, tc.Matrix().Data)
+	id = ref.Enqueue(func(op *Invoker, args ...*Buffer) {
+		if err := op.InvokeOperator(Tanh, SCALE, args[0], args[1]); err != nil {
+			t.Error(err)
+		}
+	}, mid, td)
+	if err := ref.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Graph path through the escape hatch.
+	ctx := Init(1)
+	ga := ctx.CreateBuffer(ad, am.Data)
+	gb := ctx.CreateBuffer(ad, bm.Data)
+	g := ctx.NewGraph()
+	leaf := g.MatMul(ga.buf, gb.buf).Tanh()
+	if err := g.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := leaf.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := td.Matrix()
+	if want.Rows != got.Rows || want.Cols != got.Cols {
+		t.Fatalf("shape %dx%d vs %dx%d", want.Rows, want.Cols, got.Rows, got.Cols)
+	}
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			if want.At(r, c) != got.At(r, c) {
+				t.Fatalf("[%d,%d] %v != %v", r, c, want.At(r, c), got.At(r, c))
+			}
+		}
+	}
+}
