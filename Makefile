@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race ci bench bench-json bench-serve-json bench-kernels bench-kernels-json bench-graph-json serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke clean
+.PHONY: all build test vet race ci bench bench-json bench-serve-json bench-kernels bench-kernels-json bench-graph-json bench-cluster-json serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke cluster-smoke clean
 
 all: build
 
@@ -18,7 +18,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet race serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke bench-kernels
+ci: vet race serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke cluster-smoke bench-kernels
 
 # graph-smoke is the dataflow-graph gate: the determinism suite (same
 # DAG at 1 vs 8 workers → bit-identical results and virtual makespans,
@@ -39,6 +39,16 @@ serve-smoke:
 # lost request IDs, deterministic virtual makespan for a fixed seed.
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/server
+
+# cluster-smoke is the cluster serving layer's end-to-end gate: three
+# sharded daemons behind a gptpu-router on loopback serve mixed soak
+# traffic under a seeded transient-fault plan while one daemon is
+# SIGTERMed mid-soak; the script asserts the aggregate health probe,
+# failover absorption, the membership census and metric families, and
+# trace-ID propagation through the router hop (router and backend
+# flight dumps share IDs).
+cluster-smoke:
+	GO="$(GO)" sh scripts/cluster-smoke.sh
 
 # obs-smoke is the observability soak: a chaos daemon with tracing on
 # serves concurrent soak traffic, then the script asserts the stage
@@ -92,6 +102,12 @@ bench-graph-json:
 
 bench-kernels-json:
 	$(GO) run ./cmd/gptpu-bench -exp kernels -full -format json > BENCH_PR5.json
+
+# bench-cluster-json captures the cluster serving characterization
+# (routed aggregate throughput at 1/2/4 daemons under the seeded
+# transient-fault plan, with failover and affinity counts) as JSON.
+bench-cluster-json:
+	$(GO) run ./cmd/gptpu-bench -exp cluster -full -format json > BENCH_PR8.json
 
 clean:
 	$(GO) clean ./...

@@ -63,6 +63,13 @@ type Config struct {
 	// RetryBackoff is the initial virtual backoff before a transient
 	// retry, doubling per attempt (0 = 10µs).
 	RetryBackoff timing.Duration
+	// Pace enables real-time emulation: each instruction's dispatch
+	// sleeps Pace wall-seconds per virtual second of charged
+	// matrix-unit execution, so wall-clock throughput tracks simulated
+	// device capacity instead of host CPU speed. Serving-capacity
+	// benchmarks (bench cluster) use it; 0 disables pacing. Virtual
+	// time and functional results are unaffected.
+	Pace float64
 }
 
 // Context is an open GPTPU machine: the programming-interface entry
@@ -91,6 +98,7 @@ func Open(cfg Config) *Context {
 	o.Fault = cfg.Fault
 	o.RetryBudget = cfg.RetryBudget
 	o.RetryBackoff = cfg.RetryBackoff
+	o.Pace = cfg.Pace
 	c := core.NewContext(o)
 	if cfg.Trace {
 		c.TL.EnableTrace()

@@ -82,6 +82,9 @@ func main() {
 	soak := flag.String("soak", "", "client mode: drive GEMM traffic against the daemon at this address and exit")
 	soakClients := flag.Int("soak-clients", 4, "concurrent clients in -soak mode")
 	soakReqs := flag.Int("soak-reqs", 200, "requests per client in -soak mode")
+	soakMixed := flag.Bool("soak-mixed", false, "with -soak: mix elementwise and reduction ops in with the GEMMs")
+	shard := flag.String("shard", "", "shard identity reported in health-probe replies (cluster membership label)")
+	pace := flag.Float64("pace", 0, "real-time emulation: wall-seconds slept per virtual second of matrix-unit execution (0 = off)")
 	flightVerify := flag.String("flight-verify", "", "verify a flight-dump JSON file for internal consistency and exit")
 	expectFault := flag.Bool("expect-fault", false, "with -flight-verify: require at least one fault-attributed request")
 	var ff fault.Flags
@@ -97,7 +100,7 @@ func main() {
 		os.Exit(runCheck(*check))
 	}
 	if *soak != "" {
-		os.Exit(runSoak(*soak, *soakClients, *soakReqs))
+		os.Exit(runSoak(*soak, *soakClients, *soakReqs, *soakMixed))
 	}
 
 	fc, err := ff.Config()
@@ -127,6 +130,8 @@ func main() {
 		RetryBudget:      *retryBudget,
 		Obs:              rec,
 		Logger:           logger,
+		ShardID:          *shard,
+		Pace:             *pace,
 	})
 	if err := srv.Listen(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "gptpu-serve:", err)
@@ -271,9 +276,24 @@ func runCheck(addr string) int {
 		return 1
 	}
 	defer c.Close()
-	if err := c.Ping(); err != nil {
+	h, err := c.Health()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gptpu-serve check: ping:", err)
 		return 1
+	}
+	switch {
+	case h.Legacy:
+		fmt.Println("gptpu-serve check: health: legacy daemon (no probe payload)")
+	default:
+		state := "serving"
+		if h.Draining {
+			state = "draining"
+		}
+		id := h.ShardID
+		if id == "" {
+			id = "-"
+		}
+		fmt.Printf("gptpu-serve check: health: %s shard=%s devices=%d\n", state, id, h.Devices)
 	}
 	rng := rand.New(rand.NewSource(1))
 	a := tensor.RandUniform(rng, 48, 48, -1, 1)
@@ -297,8 +317,11 @@ func runCheck(addr string) int {
 // each issue reqs small GEMMs (verified once per client against the
 // CPU reference) and the aggregate throughput is reported. Typed
 // errors are counted, not fatal — under chaos flags the daemon is
-// expected to shed or fail some requests.
-func runSoak(addr string, clients, reqs int) int {
+// expected to shed or fail some requests. With mixed, every fourth
+// request alternates an elementwise Add or a Mean reduction into the
+// stream, exercising the non-GEMM wire paths (and, through a router,
+// the unary-operand placement rule).
+func runSoak(addr string, clients, reqs int, mixed bool) int {
 	if clients < 1 {
 		clients = 1
 	}
@@ -322,8 +345,23 @@ func runSoak(addr string, clients, reqs int) int {
 			a := tensor.RandUniform(rng, 32, 32, -1, 1)
 			b := tensor.RandUniform(rng, 32, 32, -1, 1)
 			want := blas.NaiveGemm(a, b)
+			opts := &server.CallOpts{Deadline: 5 * time.Second}
 			for i := 0; i < reqs; i++ {
-				got, err := c.Gemm(a, b, &server.CallOpts{Deadline: 5 * time.Second})
+				if mixed && i%4 == 3 {
+					var err error
+					if i%8 == 3 {
+						_, err = c.Add(a, b, opts)
+					} else {
+						_, err = c.Mean(a, opts)
+					}
+					if err != nil {
+						failed.Add(1)
+					} else {
+						ok.Add(1)
+					}
+					continue
+				}
+				got, err := c.Gemm(a, b, opts)
 				if err != nil {
 					failed.Add(1)
 					continue

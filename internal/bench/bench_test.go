@@ -240,8 +240,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown id must not resolve")
 	}
-	if len(All()) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(All()))
+	if len(All()) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(All()))
 	}
 }
 
@@ -307,4 +307,39 @@ func TestReportOutputFormats(t *testing.T) {
 
 func jsonDecode(s string, v any) error {
 	return json.Unmarshal([]byte(s), v)
+}
+
+// TestClusterShape runs the routed-cluster scaling sweep in quick mode
+// and checks its structural invariants: one row per daemon count, a
+// device column that doubles with the daemons, and an aggregate
+// throughput that genuinely scales (the pace-governed daemons make the
+// wall clock track simulated capacity, so scaling < 2x at 4 daemons
+// means routing overhead or failover storms ate the added capacity —
+// the ≥3x acceptance gate itself is asserted on the -full run that
+// produces BENCH_PR8.json).
+func TestClusterShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon network sweep")
+	}
+	rep := ClusterBench(Opts{})
+	if len(rep.Rows) != 3 {
+		t.Fatalf("cluster report has %d rows, want 3 (1/2/4 daemons)", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		daemons, devices := cell(t, r[0]), cell(t, r[1])
+		if devices != 2*daemons {
+			t.Errorf("%v daemons report %v devices, want %v", daemons, devices, 2*daemons)
+		}
+	}
+	one := findRow(t, rep, "1")
+	four := findRow(t, rep, "4")
+	if got := cell(t, one[8]); got != 1.0 {
+		t.Errorf("baseline speedup %v, want 1.00x", got)
+	}
+	if got := cell(t, four[8]); got < 2.0 {
+		t.Errorf("4-daemon speedup %vx — routed scaling collapsed", got)
+	}
+	if got := cell(t, four[7]); got < 32 {
+		t.Errorf("affinity table holds %v keys at 4 daemons, want the key space resident", got)
+	}
 }

@@ -136,6 +136,7 @@ func All() []Experiment {
 		{"serve", "Serving layer: micro-batched vs unbatched GEMM throughput", Serve},
 		{"kernels", "Kernel substrate: naive vs blocked int8 compute", Kernels},
 		{"graph", "Dataflow graph: whole-DAG submission vs per-op round-trips", GraphBench},
+		{"cluster", "Cluster serving: routed throughput scaling across daemons", ClusterBench},
 	}
 }
 

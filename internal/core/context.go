@@ -81,6 +81,16 @@ type Options struct {
 	// retrying a transient fault; it doubles per consecutive retry
 	// (0 = 10µs).
 	RetryBackoff timing.Duration
+	// Pace enables real-time emulation of device occupancy: after an
+	// instruction's virtual charge succeeds, its dispatch worker
+	// sleeps Pace wall-seconds per virtual second of matrix-unit
+	// execution before running the functional phase. Wall-clock
+	// throughput then tracks simulated device capacity instead of
+	// host CPU speed, which is what serving-capacity benchmarks need
+	// (an unpaced simulator answers requests as fast as one core can
+	// compute them, so adding daemons cannot show scaling). Virtual
+	// time, makespans and results are unaffected. 0 disables pacing.
+	Pace float64
 }
 
 // DefaultOptions returns the configuration of the paper's prototype:

@@ -229,9 +229,20 @@ func (e *engine) worker(id int) {
 		}
 		e.mu.Unlock()
 
-		if err == nil && item.w.fn != nil && !item.b.failed() {
+		paced := err == nil && !item.b.failed() && e.c.opts.Pace > 0 && item.w.execCost > 0
+		if err == nil && (item.w.fn != nil || paced) && !item.b.failed() {
 			execStart := time.Now()
-			item.w.fn()
+			// Real-time emulation: hold this worker for the charged
+			// matrix-unit occupancy so wall throughput tracks device
+			// capacity. Sleeping (not spinning) keeps the host core free
+			// — the point is that paced daemons scale with device count,
+			// not host cores.
+			if paced {
+				time.Sleep(time.Duration(float64(item.w.execCost) * e.c.opts.Pace))
+			}
+			if item.w.fn != nil {
+				item.w.fn()
+			}
 			if item.w.obs != nil {
 				item.w.obs.ObserveSpan("exec", execStart, time.Since(execStart), "")
 			}

@@ -77,6 +77,10 @@ type instrWork struct {
 	// re-ships them from their host shadows at full size.
 	home    *graphHome
 	rehomed bool
+	// execCost is the pure matrix-unit time the charged device spent on
+	// this instruction (set by tryOn on success). The engine's pacing
+	// mode sleeps Pace × execCost wall time during the exec phase.
+	execCost timing.Duration
 }
 
 func (w *instrWork) n() int {
@@ -213,6 +217,7 @@ func (c *Context) tryOn(d *edgetpu.Device, w *instrWork) (timing.Duration, error
 	if err != nil {
 		return 0, err
 	}
+	w.execCost = d.ExecCost(&w.instr, w.n())
 	at, err = d.DownloadSpan(w.outBytes, at, sp)
 	if err != nil {
 		return 0, err

@@ -2,8 +2,6 @@ package server
 
 import (
 	"fmt"
-	"hash/fnv"
-	"math"
 	"sync"
 	"time"
 
@@ -32,43 +30,6 @@ const weightCacheCap = 32
 type batchKey struct {
 	n, k  int
 	bhash uint64
-}
-
-// matrixEqual reports byte-identity of two matrices (dimensions and
-// float bit patterns — NaNs compare by bits, not IEEE equality).
-func matrixEqual(a, b *tensor.Matrix) bool {
-	if a.Rows != b.Rows || a.Cols != b.Cols {
-		return false
-	}
-	for r := 0; r < a.Rows; r++ {
-		ar, br := a.Row(r), b.Row(r)
-		for i := range ar {
-			if math.Float32bits(ar[i]) != math.Float32bits(br[i]) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// hashMatrix fingerprints a matrix's dimensions and float bits
-// (FNV-1a 64).
-func hashMatrix(m *tensor.Matrix) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	put(uint64(m.Rows)<<32 | uint64(m.Cols))
-	for r := 0; r < m.Rows; r++ {
-		for _, v := range m.Row(r) {
-			put(uint64(math.Float32bits(v)))
-		}
-	}
-	return h.Sum64()
 }
 
 // callResult is a batched call's outcome.
@@ -172,7 +133,7 @@ func (b *batcher) submit(key batchKey, weight *tensor.Matrix, call *gemmCall) bo
 		g = &batchGroup{b: weight}
 		b.groups[key] = g
 		g.timer = time.AfterFunc(b.window, func() { b.flushKey(key, g) })
-	} else if !matrixEqual(g.b, weight) {
+	} else if !WeightEqual(g.b, weight) {
 		b.mu.Unlock()
 		return false
 	}
@@ -214,7 +175,7 @@ func (b *batcher) weightBuffer(key batchKey, weight *tensor.Matrix) *gptpu.Buffe
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if wb, ok := b.weights[key]; ok {
-		if matrixEqual(wb.m, weight) {
+		if WeightEqual(wb.m, weight) {
 			b.met.weightHits.Inc()
 			return wb.buf
 		}

@@ -252,6 +252,34 @@ func (c *Client) roundTrip(t MsgType, payload []byte, traceID uint64) (*Frame, e
 	}
 }
 
+// Forward relays one already-encoded operator request and returns the
+// raw reply frame. It is the cluster router's backend hop: the router
+// never re-encodes payloads — it decodes just enough of the request to
+// derive a placement key, then forwards the client's payload bytes
+// verbatim (the payload format is identical across protocol versions,
+// so the router's negotiated version with the backend is independent
+// of the version its own client spoke). Typed error replies surface as
+// errors exactly like Call's, so the router's failover logic can
+// classify them with errors.Is.
+func (c *Client) Forward(op MsgType, payload []byte, traceID uint64) (*Frame, error) {
+	return c.roundTrip(op, payload, traceID)
+}
+
+// Health round-trips a liveness probe and decodes the enriched Pong
+// payload (draining state, shard identity, device count). Daemons
+// predating the enrichment answer with an empty payload; that decodes
+// as HealthInfo{Legacy: true} — alive, but opaque.
+func (c *Client) Health() (HealthInfo, error) {
+	f, err := c.roundTrip(MsgPing, nil, 0)
+	if err != nil {
+		return HealthInfo{}, err
+	}
+	if f.Type != MsgPong {
+		return HealthInfo{}, fmt.Errorf("server client: ping answered with %s", f.Type)
+	}
+	return decodeHealth(f.Payload), nil
+}
+
 // Ping round-trips a liveness probe.
 func (c *Client) Ping() error {
 	f, err := c.roundTrip(MsgPing, nil, 0)

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHealthRoundTrip: the enriched Pong payload survives its own
+// codec, including the clamps (device counts beyond a byte, shard IDs
+// beyond u16).
+func TestHealthRoundTrip(t *testing.T) {
+	cases := []HealthInfo{
+		{},
+		{Draining: true, ShardID: "shard-a", Devices: 4},
+		{ShardID: "", Devices: 255},
+		{Draining: true},
+	}
+	for _, h := range cases {
+		got := decodeHealth(encodeHealth(h))
+		if got != h {
+			t.Errorf("round trip %+v -> %+v", h, got)
+		}
+	}
+	// Clamps: 300 devices saturates at 255; a >64KiB shard ID truncates.
+	got := decodeHealth(encodeHealth(HealthInfo{Devices: 300}))
+	if got.Devices != 255 {
+		t.Errorf("device clamp: got %d, want 255", got.Devices)
+	}
+	long := strings.Repeat("x", 70000)
+	got = decodeHealth(encodeHealth(HealthInfo{ShardID: long}))
+	if len(got.ShardID) != 65535 {
+		t.Errorf("shard-id clamp: got %d bytes, want 65535", len(got.ShardID))
+	}
+}
+
+// TestHealthLegacyReply: an empty Pong payload — what every daemon
+// built before the enrichment sends — must decode as Legacy (alive but
+// opaque), never as an error and never as "draining". Truncated or
+// unknown-version payloads degrade the same way: health enrichment
+// fails soft, liveness does not.
+func TestHealthLegacyReply(t *testing.T) {
+	for _, payload := range [][]byte{
+		nil,
+		{},
+		{healthVersion, 0, 1},             // truncated: no shard-id length
+		{99, 0, 1, 0, 0},                  // unknown payload version
+		{healthVersion, 0, 1, 0xff, 0xff}, // shard-id length beyond payload
+	} {
+		h := decodeHealth(payload)
+		if !h.Legacy {
+			t.Errorf("payload %v: want Legacy, got %+v", payload, h)
+		}
+		if h.Draining {
+			t.Errorf("payload %v: legacy decode must not report draining", payload)
+		}
+	}
+}
+
+// TestHealthProbeLive: a live daemon answers the probe with its shard
+// identity and drain state, and flipping into drain is visible to the
+// next probe on an existing connection.
+func TestHealthProbeLive(t *testing.T) {
+	srv := startServer(t, Config{Devices: 2, ShardID: "shard-7"})
+	c := dial(t, srv)
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Legacy {
+		t.Fatal("enriched daemon answered a legacy (empty) health payload")
+	}
+	if h.ShardID != "shard-7" || h.Devices != 2 || h.Draining {
+		t.Fatalf("health = %+v, want shard-7/2 devices/serving", h)
+	}
+}

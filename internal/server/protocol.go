@@ -448,6 +448,112 @@ func decodeOpRequest(op MsgType, payload []byte) (*OpRequest, error) {
 	return req, nil
 }
 
+// DecodeOpRequest parses an operator request payload for op (exported
+// for the cluster router, which derives the placement key from the
+// decoded weight matrix before forwarding the raw payload).
+func DecodeOpRequest(op MsgType, payload []byte) (*OpRequest, error) {
+	return decodeOpRequest(op, payload)
+}
+
+// ErrorPayload renders the MsgError payload for a typed error — the
+// code from the sentinel the error wraps, the message verbatim. The
+// cluster router uses it to relay and originate typed failures in the
+// daemon's own vocabulary.
+func ErrorPayload(err error) []byte {
+	return encodeError(codeFromErr(err), err.Error())
+}
+
+// WireLen returns the full on-wire size of f (length prefix + header +
+// payload), for byte-counter telemetry outside this package.
+func WireLen(f *Frame) int { return wireLen(f) }
+
+// HealthInfo is the enriched MsgPong payload: what a router's health
+// probe needs to distinguish "draining, stop sending" (the daemon is
+// finishing in-flight work and will answer everything it accepted)
+// from "dead, fail over" (in-flight requests are lost). Legacy daemons
+// answer MsgPing with an empty payload; the decoder reports those via
+// Legacy so probers treat them as healthy-but-opaque instead of
+// failing the probe.
+type HealthInfo struct {
+	// Draining is set once the daemon began a graceful shutdown: it
+	// still answers probes on live connections but refuses new work
+	// with ErrShuttingDown.
+	Draining bool
+	// ShardID is the daemon's cluster identity (-shard flag; empty when
+	// unset). Routers use it to detect a member answering at the right
+	// address with the wrong identity (config cross-wiring).
+	ShardID string
+	// Devices is the simulated Edge TPU count behind the daemon, a
+	// capacity hint.
+	Devices int
+	// Legacy marks a pre-health daemon's empty Pong: liveness proven,
+	// drain state and identity unknown.
+	Legacy bool
+}
+
+// healthVersion identifies the health payload layout.
+const healthVersion byte = 1
+
+// Health payload (MsgPong, version 1):
+//
+//	offset  size  field
+//	0       1     health payload version (1)
+//	1       1     flags (bit 0: draining)
+//	2       1     device count
+//	3       2     shard-id length (big-endian)
+//	5       n     shard-id UTF-8
+const healthFlagDraining byte = 1 << 0
+
+// encodeHealth renders a health payload.
+func encodeHealth(h HealthInfo) []byte {
+	var flags byte
+	if h.Draining {
+		flags |= healthFlagDraining
+	}
+	dev := h.Devices
+	if dev < 0 {
+		dev = 0
+	} else if dev > 255 {
+		dev = 255
+	}
+	id := h.ShardID
+	if len(id) > math.MaxUint16 {
+		id = id[:math.MaxUint16]
+	}
+	dst := make([]byte, 0, 5+len(id))
+	dst = append(dst, healthVersion, flags, byte(dev))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(id)))
+	return append(dst, id...)
+}
+
+// decodeHealth parses a MsgPong payload. An empty payload is a legacy
+// daemon's reply (liveness only); an unknown version or truncated
+// payload is treated the same way rather than failing the probe —
+// health enrichment degrades, liveness does not.
+func decodeHealth(payload []byte) HealthInfo {
+	if len(payload) < 5 || payload[0] != healthVersion {
+		return HealthInfo{Legacy: true}
+	}
+	h := HealthInfo{
+		Draining: payload[1]&healthFlagDraining != 0,
+		Devices:  int(payload[2]),
+	}
+	n := int(binary.BigEndian.Uint16(payload[3:]))
+	if len(payload) < 5+n {
+		return HealthInfo{Legacy: true}
+	}
+	h.ShardID = string(payload[5 : 5+n])
+	return h
+}
+
+// EncodeHealth renders a MsgPong health payload (exported for the
+// cluster router, which answers probes with its own aggregate health).
+func EncodeHealth(h HealthInfo) []byte { return encodeHealth(h) }
+
+// DecodeHealth parses a MsgPong payload; see decodeHealth for the
+// legacy-daemon semantics.
+func DecodeHealth(payload []byte) HealthInfo { return decodeHealth(payload) }
+
 // encodeError renders an error payload.
 func encodeError(code uint16, msg string) []byte {
 	dst := make([]byte, 0, 2+len(msg))

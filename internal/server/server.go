@@ -66,6 +66,15 @@ type Config struct {
 	// Logger receives structured serving-path logs with trace-ID and
 	// request-ID attributes (nil = discard).
 	Logger *slog.Logger
+	// ShardID is the daemon's cluster identity, reported in health
+	// probe replies so a router can verify it is talking to the member
+	// it configured (empty = unnamed).
+	ShardID string
+	// Pace enables real-time emulation of device occupancy in the
+	// runtime (wall seconds slept per virtual matrix-unit second; 0 =
+	// run at full host speed). Cluster capacity benchmarks use it so
+	// daemon throughput reflects simulated device capacity.
+	Pace float64
 }
 
 // Server is the gptpu-serve daemon: one shared runtime context, an
@@ -84,6 +93,7 @@ type Server struct {
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	draining bool
+	aborted  bool // chaos hard-kill: listener dropped without drain
 	reqWG    sync.WaitGroup // in-flight request handlers
 	connWG   sync.WaitGroup // connection read loops
 }
@@ -110,6 +120,7 @@ func New(cfg Config) *Server {
 		Metrics:         reg,
 		Fault:           cfg.Fault,
 		RetryBudget:     cfg.RetryBudget,
+		Pace:            cfg.Pace,
 	})
 	logger := cfg.Logger
 	if logger == nil {
@@ -186,9 +197,9 @@ func (s *Server) Serve() error {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			draining := s.draining
+			stopped := s.draining || s.aborted
 			s.mu.Unlock()
-			if draining {
+			if stopped {
 				return nil
 			}
 			return err
@@ -245,6 +256,41 @@ func (s *Server) Shutdown() error {
 	err := s.gx.Sync()
 	s.gx.Close()
 	return err
+}
+
+// health snapshots the daemon's probe-visible state.
+func (s *Server) health() HealthInfo {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return HealthInfo{
+		Draining: draining,
+		ShardID:  s.cfg.ShardID,
+		Devices:  s.gx.Core().Options().Devices,
+	}
+}
+
+// Abort is the chaos hard-kill: drop the listener and every live
+// connection immediately, without draining — in-flight requests lose
+// their replies mid-write, exactly what a SIGKILL'd daemon inflicts on
+// its clients. Failover tests use it to prove the router re-homes the
+// orphaned requests; the runtime itself is left running so a later
+// Shutdown can still retire it cleanly.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	s.aborted = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
 }
 
 // connWriter serializes whole-frame writes from the per-request
@@ -313,7 +359,10 @@ func (s *Server) handleConn(conn net.Conn) {
 
 		switch {
 		case f.Type == MsgPing:
-			s.reply(cw, f.Version, f.ReqID, f.TraceID, MsgPong, nil)
+			// The Pong carries the enriched health payload (drain state,
+			// shard identity). Pre-health clients ignore the payload, so
+			// the extension is compatible in both directions.
+			s.reply(cw, f.Version, f.ReqID, f.TraceID, MsgPong, encodeHealth(s.health()))
 		case f.Type.isOp():
 			s.mu.Lock()
 			if s.draining {
@@ -396,7 +445,7 @@ func (s *Server) handleRequest(cw *connWriter, f *Frame) {
 	}
 
 	if s.batchable(req) {
-		key := batchKey{n: req.A.Cols, k: req.B.Cols, bhash: hashMatrix(req.B)}
+		key := batchKey{n: req.A.Cols, k: req.B.Cols, bhash: WeightKey(req.B)}
 		call := &gemmCall{a: req.A, arrived: arrived, deadlineMillis: req.DeadlineMillis,
 			rt: rt, done: make(chan callResult, 1)}
 		rt.Begin(obs.StageBatchWait, "")
@@ -462,6 +511,12 @@ func (s *Server) finishReply(rc *reqCtx, m *tensor.Matrix, err error) {
 	s.met.e2eLat.With(rc.op.String()).Observe(time.Since(rc.arrived).Seconds())
 	rc.rt.Finish(status)
 }
+
+// ErrStatus names a typed error's failure class for status-labeled
+// telemetry ("ok" is the caller's convention for nil). The cluster
+// router labels its reply counters with it so router and daemon
+// status breakdowns use one vocabulary.
+func ErrStatus(err error) string { return errStatus(codeFromErr(err)) }
 
 // errStatus names an error code for the replies-by-status counter.
 func errStatus(code uint16) string {

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"hash/fnv"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// WeightKey fingerprints a matrix's dimensions and float bit patterns
+// (FNV-1a 64). It is the content-derived identity shared by the GEMM
+// micro-batcher (batch-group compatibility and the weight-buffer
+// cache) and the cluster router (rendezvous placement key), so the
+// node a weight matrix hashes to is the node whose batcher already
+// holds its quantized buffer — repeat traffic for a model lands where
+// its weights are hot.
+//
+// The key is a fast index, not an identity proof: 64-bit FNV
+// collisions are adversarially craftable, so every consumer that acts
+// on a key match MUST confirm byte identity with WeightEqual and fall
+// back to a collision-safe path on mismatch (the batcher serves the
+// request unbatched; the router's placement is only a routing hint, so
+// a collision merely co-locates two models on one node — never
+// computes against the wrong weights).
+func WeightKey(m *tensor.Matrix) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(m.Rows)<<32 | uint64(m.Cols))
+	for r := 0; r < m.Rows; r++ {
+		for _, v := range m.Row(r) {
+			put(uint64(math.Float32bits(v)))
+		}
+	}
+	return h.Sum64()
+}
+
+// WeightEqual reports byte-identity of two matrices (dimensions and
+// float bit patterns — NaNs compare by bits, not IEEE equality). It is
+// the collision fallback every WeightKey match must be confirmed with.
+func WeightEqual(a, b *tensor.Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for r := 0; r < a.Rows; r++ {
+		ar, br := a.Row(r), b.Row(r)
+		for i := range ar {
+			if math.Float32bits(ar[i]) != math.Float32bits(br[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
