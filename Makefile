@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race ci bench bench-json bench-serve-json bench-kernels bench-kernels-json bench-graph-json bench-cluster-json serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke cluster-smoke clean
+.PHONY: all build test vet race ci bench bench-json bench-serve-json bench-kernels bench-kernels-json bench-graph-json bench-cluster-json serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke graph-fuzz graph-fuzz-soak cluster-smoke clean
 
 all: build
 
@@ -18,7 +18,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet race serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke cluster-smoke bench-kernels
+ci: vet race serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke graph-fuzz cluster-smoke bench-kernels
 
 # graph-smoke is the dataflow-graph gate: the determinism suite (same
 # DAG at 1 vs 8 workers → bit-identical results and virtual makespans,
@@ -26,6 +26,20 @@ ci: vet race serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke cluster-sm
 # oracles (graph submission vs per-op serial, bit-exact).
 graph-smoke:
 	$(GO) test -count=1 -run 'TestGraph|TestStreamErrSticky' ./internal/core ./internal/apps/backprop ./internal/apps/pagerank
+
+# graph-fuzz is the differential op-graph fuzzer's CI slice: 200
+# seeded random instruction DAGs, each executed through the optimized
+# kernels, the frozen ops_ref kernels, and one op at a time over the
+# wire, at dispatch worker counts {1,4,8} and under a randomized fault
+# plan — bit-identical results and virtual makespans required
+# everywhere. Deterministic for the fixed seed; a failure prints a
+# minimized repro replayable with 'gptpu-fuzz -case <seed>'.
+graph-fuzz:
+	$(GO) run ./cmd/gptpu-fuzz -seed 1 -cases 200
+
+# graph-fuzz-soak is the long version for hunting new divergences.
+graph-fuzz-soak:
+	$(GO) run ./cmd/gptpu-fuzz -seed 1 -cases 4000 -v
 
 # serve-smoke builds the gptpu-serve daemon, boots it on an ephemeral
 # port, round-trips a client GEMM, and asserts a clean drain on

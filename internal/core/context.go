@@ -81,6 +81,12 @@ type Options struct {
 	// retrying a transient fault; it doubles per consecutive retry
 	// (0 = 10µs).
 	RetryBackoff timing.Duration
+	// RefKernels executes every functional instruction body on the
+	// frozen naive reference kernels (edgetpu.Ref) instead of the
+	// optimized substrate (edgetpu.Fast). Results and virtual time
+	// must be bit-identical either way — the differential fuzzer runs
+	// whole instruction DAGs under both tables and byte-compares.
+	RefKernels bool
 	// Pace enables real-time emulation of device occupancy: after an
 	// instruction's virtual charge succeeds, its dispatch worker
 	// sleeps Pace wall-seconds per virtual second of matrix-unit
@@ -112,6 +118,7 @@ type Context struct {
 	opts   Options
 	params *timing.Params
 	met    *runtimeMetrics
+	kern   *edgetpu.KernelTable
 
 	TL   *timing.Timeline
 	Pool *edgetpu.Pool
@@ -214,10 +221,15 @@ func NewContext(opts Options) *Context {
 	}
 	defaults.mu.Unlock()
 	met := newRuntimeMetrics(reg)
+	kern := edgetpu.Fast
+	if opts.RefKernels {
+		kern = edgetpu.Ref
+	}
 	c := &Context{
 		opts:     opts,
 		params:   params,
 		met:      met,
+		kern:     kern,
 		TL:       tl,
 		Pool:     edgetpu.NewPoolInjected(tl, params, opts.Devices, met.reg, fault.New(fc)),
 		Host:     tl.NewResource("cpu-core0"),

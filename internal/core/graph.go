@@ -280,6 +280,9 @@ func (g *Graph) elementwise(op string, a Value, f func(*Stream, *Buffer) *tensor
 // Conv2D adds a stride-(1,1) 2-D convolution node of a by kernel.
 func (g *Graph) Conv2D(a, kernel Value) *Node {
 	ar, ac := a.dims()
+	kr, kc := kernel.dims()
+	checkShapes("graph.conv2D", kr > 0 && kc > 0 && kr <= ar && kc <= ac,
+		"kernel %dx%d incompatible with input %dx%d", kr, kc, ar, ac)
 	return g.device("conv2D", ar, ac, func(s *Stream, in []*Buffer) *tensor.Matrix {
 		return s.Conv2D(in[0], in[1])
 	}, a, kernel)
@@ -288,8 +291,11 @@ func (g *Graph) Conv2D(a, kernel Value) *Node {
 // Conv2DStrided adds a strided 2-D convolution node.
 func (g *Graph) Conv2DStrided(a, kernel Value, strideR, strideC int) *Node {
 	ar, ac := a.dims()
+	kr, kc := kernel.dims()
 	checkShapes("graph.conv2DStrided", strideR > 0 && strideC > 0,
 		"strides must be positive (%d,%d)", strideR, strideC)
+	checkShapes("graph.conv2DStrided", kr > 0 && kc > 0 && kr <= ar && kc <= ac,
+		"kernel %dx%d incompatible with input %dx%d", kr, kc, ar, ac)
 	return g.device("conv2DStrided", (ar+strideR-1)/strideR, (ac+strideC-1)/strideC,
 		func(s *Stream, in []*Buffer) *tensor.Matrix {
 			return s.Conv2DStrided(in[0], in[1], strideR, strideC)
@@ -607,7 +613,13 @@ func (g *Graph) runNode(n *Node, epoch timing.Duration, obs TaskObserver) {
 		}
 		n.end = s.now
 		n.scalar = v
-		n.out = tensor.FromSlice(1, 1, []float32{v})
+		if c.opts.Functional {
+			n.out = tensor.FromSlice(1, 1, []float32{v})
+		} else {
+			// Shape descriptor like every other node kind: a timing-only
+			// downstream consumer must never compute on a real zero matrix.
+			n.out = tensor.ShapeOnly(1, 1)
+		}
 
 	default: // kDevice
 		s := &Stream{c: c, taskID: g.taskID, now: ready, obs: obs, pin: n.cell, onChip: n.chip}

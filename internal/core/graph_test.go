@@ -485,3 +485,133 @@ func TestGraphIsolatedNodesNotPinned(t *testing.T) {
 		t.Fatal("chained producer and consumer must share one home cell")
 	}
 }
+
+// TestGraphTimingOnlyReduceChain pins the timing-only publication
+// contract for reduce nodes: like every other node kind they must
+// publish a shape descriptor, never a real zero matrix, so a
+// downstream consumer in a paper-scale timing sweep cannot silently
+// compute on fabricated data. The chain off the reduce must still
+// charge virtual time and complete.
+func TestGraphTimingOnlyReduceChain(t *testing.T) {
+	o := DefaultOptions()
+	o.Functional = false
+	ctx := NewContext(o)
+	defer ctx.Close()
+
+	g := ctx.NewGraph()
+	a := ctx.NewBuffer(tensor.ShapeOnly(96, 96))
+	one := ctx.NewBuffer(tensor.ShapeOnly(1, 1))
+	mean := g.Mean(a)
+	down := mean.Add(one).Fetch() // consumes the reduce output on-device
+	if err := g.Submit(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := mean.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsShapeOnly() {
+		t.Fatalf("timing-only reduce published real data %v, want shape-only", m.Data)
+	}
+	dm, err := down.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dm.IsShapeOnly() || dm.Rows != 1 || dm.Cols != 1 {
+		t.Fatalf("downstream of reduce: shapeOnly=%v shape=%dx%d, want shape-only 1x1",
+			dm.IsShapeOnly(), dm.Rows, dm.Cols)
+	}
+	if down.End() <= mean.End() || mean.End() <= 0 {
+		t.Fatalf("virtual time did not advance through the chain: mean=%v down=%v", mean.End(), down.End())
+	}
+}
+
+// TestGraphConv2DKernelValidation pins the build-time panic contract:
+// a malformed kernel operand (empty or larger than the input) must
+// fail at node construction like every other graph operator's shape
+// check, not deep inside Stream at Submit.
+func TestGraphConv2DKernelValidation(t *testing.T) {
+	ctx := testCtx(1)
+	in := ctx.NewBuffer(tensor.New(8, 8))
+	for _, tc := range []struct {
+		name    string
+		kr, kc  int
+		strided bool
+	}{
+		{"empty", 0, 0, false},
+		{"oversized-rows", 9, 3, false},
+		{"oversized-cols", 3, 9, false},
+		{"strided-empty", 0, 3, true},
+		{"strided-oversized", 3, 9, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := ctx.NewGraph()
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected node-construction panic")
+				}
+			}()
+			k := ctx.NewBuffer(tensor.New(tc.kr, tc.kc))
+			if tc.strided {
+				g.Conv2DStrided(in, k, 2, 2)
+			} else {
+				g.Conv2D(in, k)
+			}
+		})
+	}
+	// The same shapes must still be accepted when valid.
+	g := ctx.NewGraph()
+	k := ctx.NewBuffer(tensor.FromSlice(3, 3, make([]float32, 9)))
+	g.Conv2D(in, k)
+	g.Conv2DStrided(in, k, 2, 2)
+	if err := g.Submit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGraphUpstreamPoisoningMixedKinds: one failed device node feeding
+// a HostOp, a MatVec and a reduce — every downstream accessor must
+// return the ErrUpstream wrap with the root cause reachable, and
+// Submit must report only the root cause.
+func TestGraphUpstreamPoisoningMixedKinds(t *testing.T) {
+	ctx := NewContext(DefaultOptions())
+	defer ctx.Close()
+	a, b, _ := graphChainInputs(64)
+	bad := tensor.New(64, 64)
+	bad.Set(1, 2, float32(math.NaN()))
+
+	g := ctx.NewGraph()
+	ba, bb, bbad := ctx.NewBuffer(a), ctx.NewBuffer(b), ctx.NewBuffer(bad)
+	vec := ctx.NewBuffer(tensor.RandUniform(rand.New(rand.NewSource(7)), 1, 64, -1, 1))
+
+	root := g.MatMul(bbad, bb) // fails with ErrBadInput
+	host := g.HostOp("scale", 64, 64, time.Microsecond, func(in []*tensor.Matrix) *tensor.Matrix {
+		t.Fatal("host fn ran despite poisoned input")
+		return nil
+	}, root)
+	mv := g.MatVec(root, vec)
+	red := g.Mean(root)
+	healthy := g.MatMul(ba, bb).Fetch()
+
+	err := g.Submit()
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("Submit err = %v, want root ErrBadInput", err)
+	}
+	if errors.Is(err, ErrUpstream) {
+		t.Fatalf("Submit err = %v must be the root cause, not an ErrUpstream wrap", err)
+	}
+
+	if _, aerr := host.Result(); !errors.Is(aerr, ErrUpstream) || !errors.Is(aerr, ErrBadInput) {
+		t.Fatalf("HostOp Result err = %v, want ErrUpstream wrapping ErrBadInput", aerr)
+	}
+	if _, aerr := mv.Vector(); !errors.Is(aerr, ErrUpstream) || !errors.Is(aerr, ErrBadInput) {
+		t.Fatalf("MatVec Vector err = %v, want ErrUpstream wrapping ErrBadInput", aerr)
+	}
+	if _, aerr := red.Scalar(); !errors.Is(aerr, ErrUpstream) || !errors.Is(aerr, ErrBadInput) {
+		t.Fatalf("reduce Scalar err = %v, want ErrUpstream wrapping ErrBadInput", aerr)
+	}
+	if healthy.Err() != nil {
+		t.Fatalf("independent branch poisoned: %v", healthy.Err())
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/edgetpu"
 	"repro/internal/isa"
 	"repro/internal/quant"
 	"repro/internal/tensor"
@@ -91,7 +90,7 @@ func (s *Stream) Conv2D(a *Buffer, kernel *Buffer) *tensor.Matrix {
 			exR, exC := exR, exC
 			w.fn = func() {
 				in := qa.View(sp.R0, sp.C0, exR, exC)
-				acc := edgetpu.Conv2D(in, []*tensor.MatrixI8{qk}, 1, 1)[0]
+				acc := c.kern.Conv2D(in, []*tensor.MatrixI8{qk}, 1, 1)[0]
 				for r := 0; r < sp.Rows; r++ {
 					for cc := 0; cc < sp.Cols; cc++ {
 						out8 := quant.SaturateI8(roundDiv(acc.At(r, cc), divisor))
@@ -188,7 +187,7 @@ func (s *Stream) Conv2DStrided(a, kernel *Buffer, strideR, strideC int) *tensor.
 			o0, oEnd, r0, bandRows := o0, oEnd, r0, bandRows
 			w.fn = func() {
 				in := qa.View(r0, 0, bandRows, a.Cols())
-				acc := edgetpu.Conv2D(in, []*tensor.MatrixI8{qk}, strideR, strideC)[0]
+				acc := c.kern.Conv2D(in, []*tensor.MatrixI8{qk}, strideR, strideC)[0]
 				for r := o0; r < oEnd; r++ {
 					for cc := 0; cc < outCols; cc++ {
 						out8 := quant.SaturateI8(roundDiv(acc.At(r-o0, cc), divisor))

@@ -5,7 +5,6 @@ import (
 	"math"
 	"sync"
 
-	"repro/internal/edgetpu"
 	"repro/internal/isa"
 	"repro/internal/quant"
 	"repro/internal/tensor"
@@ -124,7 +123,7 @@ func (s *Stream) MatVec(a *Buffer, x []float32) []float32 {
 					c0 := ct * tile
 					cols := segLen(n, ct, tile)
 					wt := qa.View(r0, c0, rows, cols)
-					edgetpu.FullyConnectedInto(part.Data, wt, qx[c0:c0+cols])
+					c.kern.FullyConnectedInto(part.Data, wt, qx[c0:c0+cols])
 					for i, v := range part.Data {
 						acc[r0+i] += int64(v)
 					}
@@ -228,7 +227,7 @@ func (s *Stream) MatMulFC(a, b *Buffer) *tensor.Matrix {
 							col = append(col, qb.At(c0+i, j))
 						}
 						wt := qa.View(r0, c0, rows, cols)
-						edgetpu.FullyConnectedInto(part.Data, wt, col)
+						c.kern.FullyConnectedInto(part.Data, wt, col)
 						for i, v := range part.Data {
 							acc[i] += int64(v)
 						}
@@ -420,7 +419,7 @@ func (s *Stream) MatMul(a, b *Buffer) *tensor.Matrix {
 						// off every dot product.
 						wins := daq.View(r0, 0, rows, segN)
 						kers := dbq.View(c0, 0, nch, segN)
-						outs := edgetpu.Conv2DGemm(wins, kers)
+						outs := c.kern.Conv2DGemm(wins, kers)
 						mu.Lock()
 						for i := 0; i < rows; i++ {
 							oRow := outs.Row(i)

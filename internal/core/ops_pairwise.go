@@ -117,7 +117,7 @@ func (s *Stream) pairwise(op isa.OpCode, a, b *Buffer) *tensor.Matrix {
 			ready:    ready,
 		}
 		if c.opts.Functional {
-			w.fn = func() { pairwiseTile(op, qa, qb, out, sp, sa, sb, divisor) }
+			w.fn = func() { pairwiseTile(c.kern, op, qa, qb, out, sp, sa, sb, divisor) }
 		}
 		pl.add(w)
 	}
@@ -134,20 +134,20 @@ func (s *Stream) pairwise(op isa.OpCode, a, b *Buffer) *tensor.Matrix {
 // wide accumulation, then the device's output requantization stage
 // (the fixed-point realization of the Eq. 6/7 scale rules), then host
 // dequantization into the float result.
-func pairwiseTile(op isa.OpCode, qa, qb *tensor.MatrixI8, out *tensor.Matrix, sp tensor.Span, sa, sb float32, divisor int32) {
+func pairwiseTile(k *edgetpu.KernelTable, op isa.OpCode, qa, qb *tensor.MatrixI8, out *tensor.Matrix, sp tensor.Span, sa, sb float32, divisor int32) {
 	va := qa.View(sp.R0, sp.C0, sp.Rows, sp.Cols)
 	vb := qb.View(sp.R0, sp.C0, sp.Rows, sp.Cols)
 	var wide *tensor.MatrixI32
 	var dequant float32
 	switch op {
 	case isa.Add:
-		wide = edgetpu.Add(va, vb)
+		wide = k.Add(va, vb)
 		dequant = float32(divisor) / sa // realizes Eq. 6: out8 * divisor / s
 	case isa.Sub:
-		wide = edgetpu.Sub(va, vb)
+		wide = k.Sub(va, vb)
 		dequant = float32(divisor) / sa
 	case isa.Mul:
-		wide = edgetpu.Mul(va, vb)
+		wide = k.Mul(va, vb)
 		dequant = float32(divisor) / (sa * sb) // realizes Eq. 7
 	default:
 		panic("core: pairwiseTile bad op")
@@ -220,7 +220,7 @@ func (s *Stream) elementwise(op isa.OpCode, a *Buffer) *tensor.Matrix {
 			ready:    ready,
 		}
 		if c.opts.Functional {
-			w.fn = func() { elementwiseTile(op, qa, out, sp, pa.Scale) }
+			w.fn = func() { elementwiseTile(c.kern, op, qa, out, sp, pa.Scale) }
 		}
 		pl.add(w)
 	}
@@ -232,16 +232,16 @@ func (s *Stream) elementwise(op isa.OpCode, a *Buffer) *tensor.Matrix {
 	return out
 }
 
-func elementwiseTile(op isa.OpCode, qa *tensor.MatrixI8, out *tensor.Matrix, sp tensor.Span, sa float32) {
+func elementwiseTile(k *edgetpu.KernelTable, op isa.OpCode, qa *tensor.MatrixI8, out *tensor.Matrix, sp tensor.Span, sa float32) {
 	va := qa.View(sp.R0, sp.C0, sp.Rows, sp.Cols)
 	var res *tensor.MatrixI8
 	var dequant float32
 	switch op {
 	case isa.Tanh:
-		res = edgetpu.TanhLUT(va, sa)
+		res = k.TanhLUT(va, sa)
 		dequant = 1.0 / quant.QMax // tanh outputs quantize to [-127,127] over [-1,1]
 	case isa.ReLU:
-		res = edgetpu.ReLU(va)
+		res = k.ReLU(va)
 		dequant = 1 / sa
 	default:
 		panic("core: elementwiseTile bad op")
@@ -306,10 +306,10 @@ func (s *Stream) reduce(op isa.OpCode, a *Buffer) float32 {
 			w.fn = func() {
 				va := qa.View(sp.R0, sp.C0, sp.Rows, sp.Cols)
 				if op == isa.Mean {
-					sum, n := edgetpu.MeanSum(va)
+					sum, n := c.kern.MeanSum(va)
 					parts[i] = partial{sum: sum, elems: n}
 				} else {
-					parts[i] = partial{max: edgetpu.MaxVal(va), elems: va.Elems()}
+					parts[i] = partial{max: c.kern.MaxVal(va), elems: va.Elems()}
 				}
 			}
 		}
@@ -400,7 +400,7 @@ func (s *Stream) Crop(a *Buffer, r0, c0, rows, cols int) *tensor.Matrix {
 	var out *tensor.Matrix
 	if c.opts.Functional {
 		w.fn = func() {
-			sub := edgetpu.Crop(qa, r0, c0, rows, cols)
+			sub := c.kern.Crop(qa, r0, c0, rows, cols)
 			out = quant.Dequantize(sub, pa)
 			tensor.PutI8(sub)
 		}
@@ -441,7 +441,7 @@ func (s *Stream) Ext(a *Buffer, rows, cols int) *tensor.Matrix {
 	var out *tensor.Matrix
 	if c.opts.Functional {
 		w.fn = func() {
-			padded := edgetpu.Ext(qa, rows, cols)
+			padded := c.kern.Ext(qa, rows, cols)
 			out = quant.Dequantize(padded, pa)
 			tensor.PutI8(padded)
 		}

@@ -71,6 +71,44 @@ func RefConv2D(in *tensor.MatrixI8, kernels []*tensor.MatrixI8, strideR, strideC
 	return outs
 }
 
+// RefConv2DGemm is the reference GEMM-as-conv2D kernel: every row of
+// wins is one flattened input window, every row of kers one flattened
+// kernel, and out[i][j] is the exact widened dot product of window i
+// with kernel j — the semantics the SWAR-packed Conv2DGemm fast path
+// must reproduce bit for bit.
+func RefConv2DGemm(wins, kers *tensor.MatrixI8) *tensor.MatrixI32 {
+	if wins.Cols != kers.Cols {
+		panic("edgetpu: Conv2DGemm operand width mismatch")
+	}
+	out := tensor.NewI32(wins.Rows, kers.Rows)
+	for i := 0; i < wins.Rows; i++ {
+		w := wins.Row(i)
+		oRow := out.Row(i)
+		for j := 0; j < kers.Rows; j++ {
+			k := kers.Row(j)
+			var acc int64
+			for t := range w {
+				acc += int64(w[t]) * int64(k[t])
+			}
+			oRow[j] = int32(acc)
+		}
+	}
+	return out
+}
+
+// RefFullyConnectedInto is RefFullyConnected writing into a
+// caller-supplied accumulator slice, matching the allocation-free
+// entry point the runtime streams use.
+func RefFullyConnectedInto(dst []int32, weights *tensor.MatrixI8, vec []int8) {
+	if len(vec) != weights.Cols {
+		panic(fmt.Sprintf("edgetpu: FullyConnected vector length %d != weight cols %d", len(vec), weights.Cols))
+	}
+	if len(dst) != weights.Rows {
+		panic(fmt.Sprintf("edgetpu: FullyConnected dst length %d != weight rows %d", len(dst), weights.Rows))
+	}
+	copy(dst, RefFullyConnected(weights, vec))
+}
+
 // RefFullyConnected is the reference FullyConnected instruction: the
 // input vector multiplies a weight matrix, one 32-bit accumulator per
 // weight row.

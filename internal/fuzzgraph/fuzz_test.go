@@ -1,0 +1,140 @@
+package fuzzgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGenerateDeterministic: a case is a pure function of its seed,
+// program listing included — the property replayable repros rest on.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: two generations differ:\n%s\n--- vs ---\n%s", seed, a, b)
+		}
+		if len(a.Nodes) == 0 || len(a.Inputs) == 0 {
+			t.Fatalf("seed %d: degenerate case: %s", seed, a)
+		}
+	}
+}
+
+// TestGenerateCoverage: across a modest seed range the generator must
+// exercise every op kind, strided views, segmented chains, fetched and
+// on-chip nodes — otherwise the oracle is quietly blind to part of the
+// instruction set.
+func TestGenerateCoverage(t *testing.T) {
+	ops := map[OpKind]int{}
+	var views, segs, fetches int
+	for seed := int64(1); seed <= 300; seed++ {
+		cs := Generate(seed)
+		for i := range cs.Nodes {
+			ops[cs.Nodes[i].Op]++
+			if cs.Nodes[i].Fetch {
+				fetches++
+			}
+		}
+		for i := range cs.Inputs {
+			if cs.Inputs[i].ParentRows > 0 {
+				views++
+			}
+		}
+		if cs.SegLen > 0 {
+			segs++
+		}
+	}
+	for k := range opNames {
+		if ops[k] == 0 {
+			t.Errorf("op %s never generated in 300 seeds", k)
+		}
+	}
+	if views == 0 || segs == 0 || fetches == 0 {
+		t.Errorf("coverage holes: views=%d segs=%d fetches=%d", views, segs, fetches)
+	}
+}
+
+// TestFuzzShort is the deterministic CI slice of the differential
+// fuzzer: a handful of seeds through the complete oracle, wire leg
+// included.
+func TestFuzzShort(t *testing.T) {
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	defer h.Close()
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	for _, f := range Run(1, n, h, nil) {
+		t.Errorf("seed %d: %v\nminimized:\n%s", f.Seed, f.Err, f.Minimized)
+	}
+}
+
+// TestCorpusReplay re-checks every committed repro seed — one per bug
+// the fuzzer has caught — so none of those divergences can return.
+func TestCorpusReplay(t *testing.T) {
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	defer h.Close()
+	for _, seed := range CorpusSeeds {
+		if f := CheckSeed(seed, h); f != nil {
+			t.Errorf("corpus seed %d regressed: %v\nminimized:\n%s", seed, f.Err, f.Minimized)
+		}
+	}
+}
+
+// TestMinimize drives the minimizer with a synthetic predicate ("the
+// case still contains a Tanh") and checks it converges to a minimal
+// slice of the DAG with consistent arg references.
+func TestMinimize(t *testing.T) {
+	var cs *Case
+	var seed int64
+	for seed = 1; ; seed++ {
+		cs = Generate(seed)
+		n := 0
+		for i := range cs.Nodes {
+			if cs.Nodes[i].Op == OpTanh {
+				n++
+			}
+		}
+		if n >= 1 && len(cs.Nodes) >= 5 {
+			break
+		}
+		if seed > 500 {
+			t.Fatal("no seed with a tanh in a 5+ node case")
+		}
+	}
+	hasTanh := func(c *Case) bool {
+		for i := range c.Nodes {
+			if c.Nodes[i].Op == OpTanh {
+				return true
+			}
+		}
+		return false
+	}
+	min := Minimize(cs, hasTanh)
+	if !hasTanh(min) {
+		t.Fatalf("minimized case lost the failing property:\n%s", min)
+	}
+	if len(min.Nodes) >= len(cs.Nodes) {
+		t.Errorf("no shrinkage: %d -> %d nodes", len(cs.Nodes), len(min.Nodes))
+	}
+	// Every surviving arg reference must be in range; the case must
+	// still execute cleanly end to end.
+	for i := range min.Nodes {
+		for _, a := range min.Nodes[i].Args {
+			if a >= i || -a-1 >= len(min.Inputs) {
+				t.Fatalf("dangling arg %d at n%d:\n%s", a, i, min)
+			}
+		}
+	}
+	if err := Check(min, nil); err != nil {
+		t.Fatalf("minimized case no longer runs clean: %v", err)
+	}
+	if !strings.Contains(min.String(), "tanh") {
+		t.Errorf("listing does not mention tanh:\n%s", min)
+	}
+}

@@ -1,0 +1,20 @@
+package server
+
+// Loopback boots a daemon on an ephemeral loopback port, starts its
+// accept loop, and dials one client — the in-process harness the
+// differential fuzzer's wire-path oracle (and any test that wants a
+// real serving round-trip without a child process) builds on. The
+// caller owns both halves: Close the client, then Shutdown the server.
+func Loopback(cfg Config) (*Server, *Client, error) {
+	srv := New(cfg)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return nil, nil, err
+	}
+	go srv.Serve()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		srv.Shutdown()
+		return nil, nil, err
+	}
+	return srv, cli, nil
+}
