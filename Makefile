@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race ci bench bench-json bench-serve-json bench-kernels bench-kernels-json bench-graph-json bench-cluster-json serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke graph-fuzz graph-fuzz-soak cluster-smoke clean
+.PHONY: all build test vet race ci bench bench-json bench-serve-json bench-kernels bench-kernels-json bench-kernels-pr10-json bench-graph-json bench-cluster-json serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke graph-fuzz graph-fuzz-soak cluster-smoke kernels-race-smoke clean
 
 all: build
 
@@ -18,7 +18,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet race serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke graph-fuzz cluster-smoke bench-kernels
+ci: vet race serve-smoke chaos-smoke obs-smoke fuzz-smoke graph-smoke graph-fuzz cluster-smoke kernels-race-smoke bench-kernels
 
 # graph-smoke is the dataflow-graph gate: the determinism suite (same
 # DAG at 1 vs 8 workers → bit-identical results and virtual makespans,
@@ -101,9 +101,18 @@ bench-serve-json:
 # bench-kernels is the kernel-substrate benchmark smoke: every naive vs
 # optimized instruction microbenchmark runs once (-benchtime 1x) so CI
 # catches kernels that crash, allocate unboundedly, or lose their
-# reference twin without paying for stable timings.
+# reference twin without paying for stable timings. The regex also
+# matches the *Threads benchmarks, so the intra-op pool axis
+# (t1/t2/t4 sub-benchmarks) rides the same smoke.
 bench-kernels:
 	$(GO) test -run '^$$' -bench 'Benchmark(Conv2D|FullyConnected|Add|Tanh|Crop|Mean|Max)' -benchtime 1x ./internal/edgetpu
+
+# kernels-race-smoke runs the intra-op worker pool's oracles under the
+# race detector: the thread-count equivalence battery, the chunk
+# coverage and slot-contention hammers, the serial-cutoff policy, and
+# the copy-on-write tanh LUT cache under concurrent growth.
+kernels-race-smoke:
+	$(GO) test -race -count=1 -run 'TestEquivalenceAtThreadCounts|TestParallelRows|TestTanhCacheConcurrent|TestSerialCutoff|TestPoolHelperBound|TestKernelThreadsClamps' ./internal/edgetpu
 
 # bench-kernels-json captures the kernel-substrate characterization
 # (naive vs blocked ns/op and GB/s per instruction, plus the dispatch
@@ -116,6 +125,12 @@ bench-graph-json:
 
 bench-kernels-json:
 	$(GO) run ./cmd/gptpu-bench -exp kernels -full -format json > BENCH_PR5.json
+
+# bench-kernels-pr10-json re-captures the kernel characterization with
+# the intra-op threads sweep (the *-par rows) and the env pin
+# (gomaxprocs / kernel_threads) in the JSON header.
+bench-kernels-pr10-json:
+	$(GO) run ./cmd/gptpu-bench -exp kernels -full -format json > BENCH_PR10.json
 
 # bench-cluster-json captures the cluster serving characterization
 # (routed aggregate throughput at 1/2/4 daemons under the seeded

@@ -4,6 +4,9 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"io"
+	"runtime"
+
+	"repro/internal/edgetpu"
 )
 
 // WriteCSV renders the report as CSV: one header row, then data rows.
@@ -27,10 +30,20 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// jsonEnv pins the host execution environment a report was produced
+// under, so BENCH_* files stay comparable across machines: a speedup
+// column only means something next to the parallelism that was
+// physically available.
+type jsonEnv struct {
+	GOMAXPROCS    int `json:"gomaxprocs"`
+	KernelThreads int `json:"kernel_threads"`
+}
+
 // jsonReport is the stable JSON shape of a report.
 type jsonReport struct {
 	ID     string     `json:"id"`
 	Title  string     `json:"title"`
+	Env    jsonEnv    `json:"env"`
 	Header []string   `json:"header"`
 	Rows   [][]string `json:"rows"`
 	Notes  []string   `json:"notes,omitempty"`
@@ -41,6 +54,8 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(jsonReport{
-		ID: r.ID, Title: r.Title, Header: r.Header, Rows: r.Rows, Notes: r.Notes,
+		ID: r.ID, Title: r.Title,
+		Env:    jsonEnv{GOMAXPROCS: runtime.GOMAXPROCS(0), KernelThreads: edgetpu.KernelThreads()},
+		Header: r.Header, Rows: r.Rows, Notes: r.Notes,
 	})
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/edgetpu"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// runMatMulOnce opens a context at the given kernel-thread width,
+// executes one MatMul, and returns the result's float32 bit patterns
+// plus the virtual makespan.
+func runMatMulOnce(t *testing.T, threads int, a, b *tensor.Matrix) ([]uint32, timing.Duration) {
+	t.Helper()
+	o := DefaultOptions()
+	o.Devices = 1
+	o.KernelThreads = threads
+	ctx := NewContext(o)
+	defer ctx.Close()
+	s := ctx.NewStream()
+	got := s.MatMul(ctx.NewBuffer(a), ctx.NewBuffer(b))
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	bits := make([]uint32, 0, got.Rows*got.Cols)
+	for r := 0; r < got.Rows; r++ {
+		for c := 0; c < got.Cols; c++ {
+			bits = append(bits, math.Float32bits(got.At(r, c)))
+		}
+	}
+	return bits, ctx.Elapsed()
+}
+
+// TestKernelThreadsInvariance is the runtime-level oracle for the
+// intra-op pool: the same operator run at widths 1, 4 and 8 must
+// produce byte-identical results AND byte-identical virtual makespans
+// (the cost model charges before the functional body runs, so the
+// thread count can never leak into simulated time).
+func TestKernelThreadsInvariance(t *testing.T) {
+	defer edgetpu.SetKernelThreads(0)
+	rng := rand.New(rand.NewSource(61))
+	a := tensor.RandUniform(rng, 150, 130, -3, 3)
+	b := tensor.RandUniform(rng, 130, 170, -3, 3)
+
+	baseBits, baseSpan := runMatMulOnce(t, 1, a, b)
+	for _, threads := range []int{4, 8} {
+		bits, span := runMatMulOnce(t, threads, a, b)
+		if span != baseSpan {
+			t.Errorf("threads=%d: makespan %v, want %v", threads, span, baseSpan)
+		}
+		for i := range baseBits {
+			if bits[i] != baseBits[i] {
+				t.Fatalf("threads=%d: elem %d = %08x, want %08x", threads, i, bits[i], baseBits[i])
+			}
+		}
+	}
+}
+
+// TestKernelPoolSurvivesReset pins pool lifetime: the worker pool is
+// process-level, so Context.Reset (which drains the engine and
+// re-creates devices) must leave it working and must not respawn
+// helpers — identical results before and after, helper count within
+// its bound.
+func TestKernelPoolSurvivesReset(t *testing.T) {
+	defer edgetpu.SetKernelThreads(0)
+	rng := rand.New(rand.NewSource(67))
+	a := tensor.RandUniform(rng, 150, 130, -3, 3)
+	b := tensor.RandUniform(rng, 130, 170, -3, 3)
+
+	o := DefaultOptions()
+	o.Devices = 1
+	o.KernelThreads = 4
+	ctx := NewContext(o)
+	defer ctx.Close()
+
+	run := func() []uint32 {
+		s := ctx.NewStream()
+		got := s.MatMul(ctx.NewBuffer(a), ctx.NewBuffer(b))
+		if s.Err() != nil {
+			t.Fatal(s.Err())
+		}
+		bits := make([]uint32, 0, got.Rows*got.Cols)
+		for r := 0; r < got.Rows; r++ {
+			for c := 0; c < got.Cols; c++ {
+				bits = append(bits, math.Float32bits(got.At(r, c)))
+			}
+		}
+		return bits
+	}
+
+	before := run()
+	helpersBefore := edgetpu.KernelPoolSnapshot().Helpers
+	ctx.Reset()
+	after := run()
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("post-Reset elem %d = %08x, want %08x", i, after[i], before[i])
+		}
+	}
+	if h := edgetpu.KernelPoolSnapshot().Helpers; h != helpersBefore {
+		t.Errorf("Reset changed helper count: %d -> %d (pool must persist)", helpersBefore, h)
+	}
+}

@@ -1,6 +1,7 @@
 package edgetpu
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -273,6 +274,90 @@ func TestActivationEquivalence(t *testing.T) {
 		gotR := ReLU(in)
 		sameI8(t, "ReLU", gotR, RefReLU(in))
 		tensor.PutI8(gotR)
+	}
+}
+
+// TestEquivalenceAtThreadCounts sweeps the intra-op pool width across
+// {1, 2, 4, 8} and requires every parallel kernel to stay bit-exact
+// against its frozen reference twin — the acceptance oracle for the
+// row-chunked paths. Shapes mix pool-eligible sizes (128-class, above
+// the serial cutoff) with odd-prime row counts that exercise ragged
+// chunk boundaries, including rows < threads.
+func TestEquivalenceAtThreadCounts(t *testing.T) {
+	defer SetKernelThreads(0)
+	for _, threads := range []int{1, 2, 4, 8} {
+		SetKernelThreads(threads)
+		rng := rand.New(rand.NewSource(int64(100 + threads)))
+		name := func(op string) string { return fmt.Sprintf("%s@kt=%d", op, threads) }
+
+		// Conv2DGemm: the tpuGemm panel-dot path.
+		for _, sh := range [][3]int{{128, 12, 128}, {61, 9, 67}, {5, 3, 3}, {1, 1, 1}, {7, 2, 16}} {
+			nWin, s, nch := sh[0], sh[1], sh[2]
+			wins, kers := randI8(rng, nWin, s*s), randI8(rng, nch, s*s)
+			got := Conv2DGemm(wins, kers)
+			stacked := &tensor.MatrixI8{Rows: nWin * s, Cols: s, Stride: s, Data: wins.Data}
+			kviews := make([]*tensor.MatrixI8, nch)
+			for ch := range kviews {
+				kviews[ch] = &tensor.MatrixI8{Rows: s, Cols: s, Stride: s, Data: kers.Row(ch)}
+			}
+			want := RefConv2D(stacked, kviews, s, s)
+			for ch := 0; ch < nch; ch++ {
+				for i := 0; i < nWin; i++ {
+					if got.At(i, ch) != want[ch].At(i, 0) {
+						t.Fatalf("%s: [%d][%d] = %d, want %d", name("Conv2DGemm"), i, ch, got.At(i, ch), want[ch].At(i, 0))
+					}
+				}
+			}
+			tensor.PutI32(got)
+		}
+
+		// Conv2D: the fused 3x3 stencil, the general strided path, and
+		// odd geometries that land just around the chunk math.
+		for _, sh := range [][4]int{{128, 128, 1, 1}, {61, 67, 1, 1}, {97, 33, 2, 3}, {3, 3, 1, 1}} {
+			in := randI8Operand(rng, sh[0], sh[1])
+			kernels := []*tensor.MatrixI8{randI8(rng, 3, 3), randI8(rng, 3, 3)}
+			got := Conv2D(in, kernels, sh[2], sh[3])
+			want := RefConv2D(in, kernels, sh[2], sh[3])
+			for ch := range kernels {
+				sameI32(t, name("Conv2D"), got[ch], want[ch])
+				tensor.PutI32(got[ch])
+			}
+		}
+
+		// FullyConnected: the SWAR dot path behind MatMulFC.
+		for _, sh := range [][2]int{{256, 256}, {61, 67}, {3, 129}, {1, 1}} {
+			w := randI8Operand(rng, sh[0], sh[1])
+			vec := make([]int8, sh[1])
+			for i := range vec {
+				vec[i] = int8(rng.Intn(256) - 128)
+			}
+			got := FullyConnected(w, vec)
+			want := RefFullyConnected(w, vec)
+			for r := range want {
+				if got[r] != want[r] {
+					t.Fatalf("%s: [%d] = %d, want %d", name("FullyConnected"), r, got[r], want[r])
+				}
+			}
+		}
+
+		// Pairwise slabs and the COW tanh LUT.
+		for _, sh := range [][2]int{{128, 128}, {63, 65}, {2, 2}} {
+			a, b := randI8Operand(rng, sh[0], sh[1]), randI8(rng, sh[0], sh[1])
+			for _, fn := range []struct {
+				op        string
+				fast, ref func(a, b *tensor.MatrixI8) *tensor.MatrixI32
+			}{
+				{"Add", Add, RefAdd}, {"Sub", Sub, RefSub}, {"Mul", Mul, RefMul},
+			} {
+				got := fn.fast(a, b)
+				sameI32(t, name(fn.op), got, fn.ref(a, b))
+				tensor.PutI32(got)
+			}
+			scale := float32(rng.Float64()*100 + 0.5)
+			gotT := TanhLUT(a, scale)
+			sameI8(t, name("TanhLUT"), gotT, RefTanhLUT(a, scale))
+			tensor.PutI8(gotT)
+		}
 	}
 }
 

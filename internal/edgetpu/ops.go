@@ -19,6 +19,7 @@ package edgetpu
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -105,44 +106,76 @@ func FullyConnectedInto(dst []int32, weights *tensor.MatrixI8, vec []int8) {
 
 // Add performs pair-wise addition on two matrices with wide results.
 func Add(a, b *tensor.MatrixI8) *tensor.MatrixI32 {
-	checkPairwise(a, b)
-	out := tensor.GetI32ForOverwrite(a.Rows, a.Cols)
-	for r := 0; r < a.Rows; r++ {
-		ra, rb, ro := a.Row(r), b.Row(r), out.Row(r)
-		rb, ro = rb[:len(ra)], ro[:len(ra)]
-		for i, v := range ra {
-			ro[i] = int32(v) + int32(rb[i])
-		}
-	}
-	return out
+	return pairwise(pairAdd, a, b)
 }
 
 // Sub performs pair-wise subtraction on two matrices with wide results.
 func Sub(a, b *tensor.MatrixI8) *tensor.MatrixI32 {
-	checkPairwise(a, b)
-	out := tensor.GetI32ForOverwrite(a.Rows, a.Cols)
-	for r := 0; r < a.Rows; r++ {
-		ra, rb, ro := a.Row(r), b.Row(r), out.Row(r)
-		rb, ro = rb[:len(ra)], ro[:len(ra)]
-		for i, v := range ra {
-			ro[i] = int32(v) - int32(rb[i])
-		}
-	}
-	return out
+	return pairwise(pairSub, a, b)
 }
 
 // Mul performs pair-wise multiplication on two matrices with wide results.
 func Mul(a, b *tensor.MatrixI8) *tensor.MatrixI32 {
+	return pairwise(pairMul, a, b)
+}
+
+// Pairwise op selector: one monomorphic job body with a per-row
+// switch keeps the inner loops free of indirect calls.
+const (
+	pairAdd = iota
+	pairSub
+	pairMul
+)
+
+// pairwise runs one elementwise slab, row-chunked across the intra-op
+// pool: each output row is written by exactly one goroutine and every
+// element depends only on its own operands, so results are identical
+// at any thread count.
+func pairwise(op int, a, b *tensor.MatrixI8) *tensor.MatrixI32 {
 	checkPairwise(a, b)
 	out := tensor.GetI32ForOverwrite(a.Rows, a.Cols)
-	for r := 0; r < a.Rows; r++ {
-		ra, rb, ro := a.Row(r), b.Row(r), out.Row(r)
+	if !parEligible(a.Rows, a.Cols) {
+		poolSerial.Add(1)
+		j := pairwiseJob{op: op, a: a, b: b, out: out}
+		j.runRows(0, a.Rows)
+		return out
+	}
+	j := pairwiseJobPool.Get().(*pairwiseJob)
+	j.op, j.a, j.b, j.out = op, a, b, out
+	parallelRows(a.Rows, a.Cols, j)
+	*j = pairwiseJob{}
+	pairwiseJobPool.Put(j)
+	return out
+}
+
+// pairwiseJob row-chunks one Add/Sub/Mul slab.
+type pairwiseJob struct {
+	op   int
+	a, b *tensor.MatrixI8
+	out  *tensor.MatrixI32
+}
+
+var pairwiseJobPool = sync.Pool{New: func() any { return new(pairwiseJob) }}
+
+func (j *pairwiseJob) runRows(lo, hi int) {
+	for r := lo; r < hi; r++ {
+		ra, rb, ro := j.a.Row(r), j.b.Row(r), j.out.Row(r)
 		rb, ro = rb[:len(ra)], ro[:len(ra)]
-		for i, v := range ra {
-			ro[i] = int32(v) * int32(rb[i])
+		switch j.op {
+		case pairAdd:
+			for i, v := range ra {
+				ro[i] = int32(v) + int32(rb[i])
+			}
+		case pairSub:
+			for i, v := range ra {
+				ro[i] = int32(v) - int32(rb[i])
+			}
+		default:
+			for i, v := range ra {
+				ro[i] = int32(v) * int32(rb[i])
+			}
 		}
 	}
-	return out
 }
 
 func checkPairwise(a, b *tensor.MatrixI8) {

@@ -3,6 +3,7 @@ package edgetpu
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/quant"
 	"repro/internal/tensor"
@@ -99,13 +100,41 @@ func contigWindows(in *tensor.MatrixI8, k *tensor.MatrixI8, strideC int) bool {
 }
 
 // conv2DContig computes every channel of a contiguous-window conv2D,
-// register-tiling four kernels per input pass.
+// register-tiling four kernels per input pass. Output rows are
+// independent (row i reads one flat window, writes outs[ch].Data[i]),
+// so the row loop chunks across the intra-op pool.
 func conv2DContig(in *tensor.MatrixI8, kernels []*tensor.MatrixI8, strideR int, outs []*tensor.MatrixI32) {
+	outR := (in.Rows + strideR - 1) / strideR
+	perRow := len(kernels) * kernels[0].Rows * in.Cols
+	if !parEligible(outR, perRow) {
+		poolSerial.Add(1)
+		j := contigJob{in: in, kernels: kernels, strideR: strideR, outs: outs}
+		j.runRows(0, outR)
+		return
+	}
+	j := contigJobPool.Get().(*contigJob)
+	j.in, j.kernels, j.strideR, j.outs = in, kernels, strideR, outs
+	parallelRows(outR, perRow, j)
+	*j = contigJob{}
+	contigJobPool.Put(j)
+}
+
+// contigJob row-chunks conv2DContig.
+type contigJob struct {
+	in      *tensor.MatrixI8
+	kernels []*tensor.MatrixI8
+	strideR int
+	outs    []*tensor.MatrixI32
+}
+
+var contigJobPool = sync.Pool{New: func() any { return new(contigJob) }}
+
+func (j *contigJob) runRows(lo, hi int) {
+	in, kernels, strideR, outs := j.in, j.kernels, j.strideR, j.outs
 	cols := in.Cols
 	kRows := kernels[0].Rows
-	outR := (in.Rows + strideR - 1) / strideR
 	nch := len(kernels)
-	for i := 0; i < outR; i++ {
+	for i := lo; i < hi; i++ {
 		base := i * strideR
 		rEnd := base + kRows
 		if rEnd > in.Rows {
@@ -152,15 +181,46 @@ func conv3x3RowI8(acc []int32, r0, r1, r2 []int8, k0, k1, k2 []int8) {
 // common 3x3 stencil runs all nine taps fused per interior output row
 // (conv3x3RowI8) with scalar right-edge tails; other shapes and the
 // bottom edge fall back to one axpy per tap. out must arrive zeroed
-// (GetI32 guarantees it).
+// (GetI32 guarantees it). Output row i reads input rows i..i+k.Rows-1
+// and writes only its own accumulator row, so the row loop chunks
+// across the intra-op pool.
 func conv2DStride1(in, k *tensor.MatrixI8, out *tensor.MatrixI32) {
-	outR, outC := out.Rows, out.Cols
+	perRow := k.Rows * k.Cols * out.Cols
+	if !parEligible(out.Rows, perRow) {
+		poolSerial.Add(1)
+		j := stencilJob{in: in, k: k, out: out}
+		j.runRows(0, out.Rows)
+		return
+	}
+	j := stencilJobPool.Get().(*stencilJob)
+	j.in, j.k, j.out = in, k, out
+	parallelRows(out.Rows, perRow, j)
+	*j = stencilJob{}
+	stencilJobPool.Put(j)
+}
+
+// stencilJob row-chunks conv2DStride1.
+type stencilJob struct {
+	in, k *tensor.MatrixI8
+	out   *tensor.MatrixI32
+}
+
+var stencilJobPool = sync.Pool{New: func() any { return new(stencilJob) }}
+
+func (j *stencilJob) runRows(lo, hi int) {
+	conv2DStride1Rows(j.in, j.k, j.out, lo, hi)
+}
+
+// conv2DStride1Rows is the conv2DStride1 body over output rows
+// [lo, hi).
+func conv2DStride1Rows(in, k *tensor.MatrixI8, out *tensor.MatrixI32, lo, hi int) {
+	outC := out.Cols
 	three := k.Rows == 3 && k.Cols == 3 && in.Cols >= 3
 	lim2 := in.Cols - 2
 	if lim2 > outC {
 		lim2 = outC
 	}
-	for i := 0; i < outR; i++ {
+	for i := lo; i < hi; i++ {
 		accRow := out.Row(i)
 		pMax := k.Rows
 		if i+pMax > in.Rows {
@@ -206,9 +266,35 @@ func conv2DStride1(in, k *tensor.MatrixI8, out *tensor.MatrixI32) {
 
 // conv2DGeneral computes one channel of an arbitrarily strided conv2D,
 // with the innermost reduction running as contiguous row-segment dot
-// products.
+// products. Row-chunked: each output row's windows are disjoint from
+// every other row's writes.
 func conv2DGeneral(in, k *tensor.MatrixI8, out *tensor.MatrixI32, strideR, strideC int) {
-	for i := 0; i < out.Rows; i++ {
+	perRow := out.Cols * k.Rows * k.Cols
+	if !parEligible(out.Rows, perRow) {
+		poolSerial.Add(1)
+		j := generalJob{in: in, k: k, out: out, strideR: strideR, strideC: strideC}
+		j.runRows(0, out.Rows)
+		return
+	}
+	j := generalJobPool.Get().(*generalJob)
+	j.in, j.k, j.out, j.strideR, j.strideC = in, k, out, strideR, strideC
+	parallelRows(out.Rows, perRow, j)
+	*j = generalJob{}
+	generalJobPool.Put(j)
+}
+
+// generalJob row-chunks conv2DGeneral.
+type generalJob struct {
+	in, k            *tensor.MatrixI8
+	out              *tensor.MatrixI32
+	strideR, strideC int
+}
+
+var generalJobPool = sync.Pool{New: func() any { return new(generalJob) }}
+
+func (j *generalJob) runRows(lo, hi int) {
+	in, k, out, strideR, strideC := j.in, j.k, j.out, j.strideR, j.strideC
+	for i := lo; i < hi; i++ {
 		baseR := i * strideR
 		pMax := k.Rows
 		if baseR+pMax > in.Rows {
@@ -349,30 +435,97 @@ func Conv2DGemm(wins, kers *tensor.MatrixI8) *tensor.MatrixI32 {
 	for ch := 0; ch < nch; ch++ {
 		sc.sk[ch] = packBiased(sc.pk[ch*half:(ch+1)*half], kers.Row(ch), true)
 	}
-	base := int64(2*half) * 16384
-	for i := 0; i < nw; i++ {
-		pwr := sc.pw[i*half : (i+1)*half]
-		corrW := base - 128*sc.sw[i]
-		oRow := out.Row(i)
-		for ch := 0; ch < nch; ch++ {
-			oRow[ch] = int32(swarDot(pwr, sc.pk[ch*half:(ch+1)*half]) + corrW - 128*sc.sk[ch])
-		}
+	// The dot phase dominates (O(nw·nch·half) vs the packs' O((nw+
+	// nch)·half)) and is row-independent — output row i reads only
+	// panel row i and the shared kernel panel — so it row-chunks
+	// across the intra-op pool. The packs stay serial: they are the
+	// memory-bound prologue and finish before the job is published,
+	// so workers see fully built panels.
+	if !parEligible(nw, 2*nch*half) {
+		poolSerial.Add(1)
+		j := gemmDotJob{sc: sc, out: out, half: half, nch: nch, base: int64(2*half) * 16384}
+		j.runRows(0, nw)
+	} else {
+		j := gemmDotJobPool.Get().(*gemmDotJob)
+		j.sc, j.out, j.half, j.nch = sc, out, half, nch
+		j.base = int64(2*half) * 16384
+		parallelRows(nw, 2*nch*half, j)
+		*j = gemmDotJob{}
+		gemmDotJobPool.Put(j)
 	}
 	swarPool.Put(sc)
 	return out
 }
 
+// gemmDotJob is the Conv2DGemm dot phase over packed panels: one
+// output row per panel row, each row's accumulation byte-identical to
+// the serial loop.
+type gemmDotJob struct {
+	sc   *swarScratch
+	out  *tensor.MatrixI32
+	half int
+	nch  int
+	base int64
+}
+
+var gemmDotJobPool = sync.Pool{New: func() any { return new(gemmDotJob) }}
+
+func (j *gemmDotJob) runRows(lo, hi int) {
+	sc, half, nch := j.sc, j.half, j.nch
+	for i := lo; i < hi; i++ {
+		pwr := sc.pw[i*half : (i+1)*half]
+		corrW := j.base - 128*sc.sw[i]
+		oRow := j.out.Row(i)
+		for ch := 0; ch < nch; ch++ {
+			oRow[ch] = int32(swarDot(pwr, sc.pk[ch*half:(ch+1)*half]) + corrW - 128*sc.sk[ch])
+		}
+	}
+}
+
 // fullyConnectedInto writes the FullyConnected accumulators into dst
 // (length weights.Rows), streaming the input vector against four
-// weight rows per pass.
+// weight rows per pass. Weight rows chunk across the intra-op pool:
+// dst[r] depends only on weight row r, and dot4I8 and dotI8 produce
+// identical values for any one row (int32 addition is exact and
+// commutative), so where a chunk boundary breaks a 4-row group the
+// scalar tail computes the same bytes.
 func fullyConnectedInto(dst []int32, weights *tensor.MatrixI8, vec []int8) {
-	r := 0
-	for ; r+4 <= weights.Rows; r += 4 {
+	if !parEligible(weights.Rows, weights.Cols) {
+		poolSerial.Add(1)
+		j := fcJob{dst: dst, weights: weights, vec: vec}
+		j.runRows(0, weights.Rows)
+		return
+	}
+	j := fcJobPool.Get().(*fcJob)
+	j.dst, j.weights, j.vec = dst, weights, vec
+	parallelRows(weights.Rows, weights.Cols, j)
+	*j = fcJob{}
+	fcJobPool.Put(j)
+}
+
+// fcJob row-chunks fullyConnectedInto over weight rows.
+type fcJob struct {
+	dst     []int32
+	weights *tensor.MatrixI8
+	vec     []int8
+}
+
+var fcJobPool = sync.Pool{New: func() any { return new(fcJob) }}
+
+func (j *fcJob) runRows(lo, hi int) {
+	fullyConnectedRows(j.dst, j.weights, j.vec, lo, hi)
+}
+
+// fullyConnectedRows computes dst[lo:hi] of the FullyConnected
+// accumulators.
+func fullyConnectedRows(dst []int32, weights *tensor.MatrixI8, vec []int8, lo, hi int) {
+	r := lo
+	for ; r+4 <= hi; r += 4 {
 		s0, s1, s2, s3 := dot4I8(vec,
 			weights.Row(r), weights.Row(r+1), weights.Row(r+2), weights.Row(r+3))
 		dst[r], dst[r+1], dst[r+2], dst[r+3] = s0, s1, s2, s3
 	}
-	for ; r < weights.Rows; r++ {
+	for ; r < hi; r++ {
 		dst[r] = dotI8(vec, weights.Row(r))
 	}
 }
@@ -385,37 +538,57 @@ type tanhTable [256]int8
 // math.Tanh calls) per tile dominated the instruction; the cache makes
 // every tile after the first a plain table walk. Capped so a
 // pathological scale-per-call workload cannot grow it unboundedly.
-var tanhCache = struct {
-	mu sync.RWMutex
-	m  map[uint32]*tanhTable
-}{m: make(map[uint32]*tanhTable)}
+//
+// Copy-on-write: readers load one atomic pointer and index an
+// immutable map — no lock, no cache-line ping-pong, which matters now
+// that dispatch workers AND intra-op pool helpers hit the table
+// concurrently (the old RWMutex read path serialized on the lock
+// word). Writers are rare (one per distinct scale), take mu, and
+// publish a fresh map; a lost race costs one redundant 256-entry
+// build, never a wrong table.
+var tanhCache struct {
+	mu sync.Mutex // serializes writers; readers only Load p
+	p  atomic.Pointer[map[uint32]*tanhTable]
+}
+
+func init() {
+	m := make(map[uint32]*tanhTable)
+	tanhCache.p.Store(&m)
+}
 
 const tanhCacheCap = 64
 
 // tanhTableFor returns the LUT for inScale, building and caching it on
-// first use. Safe for concurrent use by dispatch workers.
+// first use. Safe for concurrent use by dispatch workers and pool
+// helpers; the hot path is one atomic load plus a map read.
 func tanhTableFor(inScale float32) *tanhTable {
 	key := math.Float32bits(inScale)
-	tanhCache.mu.RLock()
-	t := tanhCache.m[key]
-	tanhCache.mu.RUnlock()
-	if t != nil {
+	if t := (*tanhCache.p.Load())[key]; t != nil {
 		return t
 	}
-	t = new(tanhTable)
+	t := new(tanhTable)
 	for i := 0; i < 256; i++ {
 		v := float64(int8(i)) / float64(inScale)
 		t[i] = quant.SaturateI8(int32(math.RoundToEven(math.Tanh(v) * quant.QMax)))
 	}
 	tanhCache.mu.Lock()
-	if cached := tanhCache.m[key]; cached != nil {
-		t = cached
-	} else {
-		if len(tanhCache.m) >= tanhCacheCap {
-			tanhCache.m = make(map[uint32]*tanhTable, tanhCacheCap)
-		}
-		tanhCache.m[key] = t
+	cur := *tanhCache.p.Load()
+	if cached := cur[key]; cached != nil {
+		tanhCache.mu.Unlock()
+		return cached
 	}
+	var next map[uint32]*tanhTable
+	if len(cur) >= tanhCacheCap {
+		// Cap reached: restart cold, as the map-keyed cache did.
+		next = make(map[uint32]*tanhTable, 1)
+	} else {
+		next = make(map[uint32]*tanhTable, len(cur)+1)
+		for k, v := range cur {
+			next[k] = v
+		}
+	}
+	next[key] = t
+	tanhCache.p.Store(&next)
 	tanhCache.mu.Unlock()
 	return t
 }

@@ -1,0 +1,299 @@
+package edgetpu
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Intra-op worker pool: the functional phase of one instruction can
+// row-chunk its output across a small set of persistent helper
+// goroutines. The pool composes with the dispatch engine's inter-op
+// workers (internal/core/engine.go) without fighting them: it is one
+// process-wide pool sized to a bounded fraction of GOMAXPROCS, it
+// runs one job at a time (concurrent dispatch workers queue on the
+// slot condition), and the submitting goroutine always participates,
+// so total kernel CPU stays near GOMAXPROCS no matter how many
+// dispatch workers call in.
+//
+// Correctness is structural, not numerical: every parallel kernel
+// partitions its *output rows* into disjoint half-open chunks, each
+// chunk is computed by exactly one goroutine from immutable inputs,
+// and the per-row computation is byte-for-byte the serial loop body.
+// Integer accumulation never reorders *within* a row, so results are
+// bit-identical to the serial path — and to ops_ref.go — at every
+// thread count (pinned by TestEquivalenceAtThreadCounts and the
+// fuzzer's kernelThreads axis). Virtual time is charged by the cost
+// model before the functional body runs, so the thread count can
+// never change a makespan.
+//
+// The pool itself allocates nothing per call in steady state: helpers
+// are spawned once and park on a condition variable between jobs, the
+// chunk cursor is one atomic word, and the per-kernel job descriptors
+// (pairwiseJob, gemmDotJob, ...) recycle through sync.Pools — a
+// closure would escape to the heap on every call.
+//
+// Invariant: runRows bodies must never re-enter parallelRows (no
+// nested parallelism). A nested call would park the caller on the
+// job-slot condition it itself holds. Every parallel kernel below
+// calls only serial leaf helpers from its runRows.
+
+// maxKernelThreads bounds the configurable width; the clamp keeps a
+// hostile flag value from spawning an unbounded helper set.
+const maxKernelThreads = 16
+
+// kernelThreadSetting is the configured pool width; 0 selects the
+// GOMAXPROCS-derived default. Process-wide by design: results are
+// thread-count-invariant, so last-writer-wins across contexts is
+// safe.
+var kernelThreadSetting atomic.Int32
+
+// SetKernelThreads sets the process-wide intra-op worker width for
+// the functional kernels. 0 restores the default (half of GOMAXPROCS,
+// clamped to [1, 8]); values above 16 clamp to 16. Safe to call at
+// any time, including while kernels run: in-flight jobs keep the
+// width they started with.
+func SetKernelThreads(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > maxKernelThreads {
+		n = maxKernelThreads
+	}
+	kernelThreadSetting.Store(int32(n))
+}
+
+// KernelThreads returns the effective intra-op worker width.
+func KernelThreads() int {
+	if n := kernelThreadSetting.Load(); n > 0 {
+		return int(n)
+	}
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 1 {
+		n = 1
+	}
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// Pool telemetry, exported through gptpu_kernel_pool_* gauges (the
+// core runtime publishes a snapshot per registry scrape).
+var (
+	poolJobs   atomic.Int64 // parallel jobs dispatched
+	poolChunks atomic.Int64 // row chunks dispatched across all jobs
+	poolWakes  atomic.Int64 // helper park→wake transitions
+	poolSerial atomic.Int64 // calls that stayed on the serial path
+)
+
+// KernelPoolStats is a snapshot of the intra-op pool's counters.
+type KernelPoolStats struct {
+	// Threads is the current effective width (KernelThreads()).
+	Threads int
+	// Helpers is the number of persistent helper goroutines spawned
+	// so far (at most maxKernelThreads-1; the caller is the missing
+	// participant).
+	Helpers int
+	// Jobs / Chunks / Wakes / SerialFallbacks are cumulative since
+	// process start.
+	Jobs, Chunks, Wakes, SerialFallbacks int64
+}
+
+// KernelPoolSnapshot reads the pool's counters.
+func KernelPoolSnapshot() KernelPoolStats {
+	intra.mu.Lock()
+	h := intra.helpers
+	intra.mu.Unlock()
+	return KernelPoolStats{
+		Threads:         KernelThreads(),
+		Helpers:         h,
+		Jobs:            poolJobs.Load(),
+		Chunks:          poolChunks.Load(),
+		Wakes:           poolWakes.Load(),
+		SerialFallbacks: poolSerial.Load(),
+	}
+}
+
+// rowsJob is one parallel kernel invocation: runRows computes the
+// half-open output-row range [lo, hi). Implementations must write
+// only state owned by those rows.
+type rowsJob interface {
+	runRows(lo, hi int)
+}
+
+// Serial cutoff: tile-edge shapes (1/2/small-prime rows, tiny
+// matrices) stay on the fast serial path — waking helpers costs more
+// than the work. parMinWork is in "row elements × per-row weight"
+// units as estimated by each caller; 8192 keeps a 64×64 pairwise tile
+// serial while a 128×128 one (16384) parallelizes.
+const (
+	parMinRows = 2
+	parMinWork = 8192
+)
+
+// parEligible reports whether a rows x perRow job clears the cutoff
+// at the current width. Kernels check it BEFORE fetching a pooled job
+// descriptor, so the serial path touches no sync.Pool at all — that
+// keeps it allocation-free even under the race detector, which
+// intentionally drops a fraction of pool puts.
+func parEligible(rows, perRow int) bool {
+	return KernelThreads() >= 2 && rows >= parMinRows && int64(rows)*int64(perRow) >= parMinWork
+}
+
+// parallelRows runs job over output rows [0, rows), chunked across
+// the intra-op pool when the work is heavy enough and the configured
+// width allows, serially otherwise. perRow is the caller's estimate
+// of the work per output row in element-operations.
+func parallelRows(rows, perRow int, job rowsJob) {
+	width := KernelThreads()
+	if width < 2 || rows < parMinRows || int64(rows)*int64(perRow) < parMinWork {
+		poolSerial.Add(1)
+		job.runRows(0, rows)
+		return
+	}
+	intra.run(rows, width, job)
+}
+
+// intraPool is the process-wide pool. One job runs at a time; the
+// slot condition serializes submitting callers, the work condition
+// parks idle helpers, and the done condition wakes the submitter when
+// the last chunk lands.
+type intraPool struct {
+	mu   sync.Mutex
+	work *sync.Cond // helpers park here between jobs
+	done *sync.Cond // the submitting caller waits here
+	slot *sync.Cond // callers queue here for the single job slot
+
+	busy    bool
+	helpers int    // persistent helper goroutines spawned so far
+	gen     uint32 // bumps once per published job
+
+	job    rowsJob
+	rows   int
+	chunk  int
+	nchunk int
+
+	// ticket packs gen<<32 | next-chunk-index into one atomic word,
+	// so a straggler helper from a finished job can never steal a
+	// chunk index from the next one: the generation check and the
+	// index claim are a single compare-and-swap.
+	ticket    atomic.Uint64
+	completed atomic.Int64
+}
+
+var intra = newIntraPool()
+
+func newIntraPool() *intraPool {
+	p := &intraPool{}
+	p.work = sync.NewCond(&p.mu)
+	p.done = sync.NewCond(&p.mu)
+	p.slot = sync.NewCond(&p.mu)
+	return p
+}
+
+// run publishes job, participates in chunk execution, and returns
+// once every chunk completed.
+func (p *intraPool) run(rows, width int, job rowsJob) {
+	p.mu.Lock()
+	for p.busy {
+		p.slot.Wait()
+	}
+	p.busy = true
+	// ~2 chunks per participant: enough slack that an unevenly
+	// preempted worker sheds load to the others, little enough that
+	// the shared ticket word stays cold.
+	n := width * 2
+	if n > rows {
+		n = rows
+	}
+	chunk := (rows + n - 1) / n
+	n = (rows + chunk - 1) / chunk
+	p.job, p.rows, p.chunk, p.nchunk = job, rows, chunk, n
+	p.gen++
+	gen := p.gen
+	p.completed.Store(0)
+	p.ticket.Store(uint64(gen) << 32)
+	// Recruit exactly width-1 helpers (never more than chunks-1):
+	// repeated Signal instead of Broadcast keeps the threads axis
+	// honest — a pool that once ran 8-wide does not wake 8 helpers
+	// for a 2-wide job.
+	need := width - 1
+	if n-1 < need {
+		need = n - 1
+	}
+	for p.helpers < need {
+		p.helpers++
+		go p.helper()
+	}
+	for i := 0; i < need; i++ {
+		p.work.Signal()
+	}
+	poolJobs.Add(1)
+	poolChunks.Add(int64(n))
+	p.mu.Unlock()
+
+	// The caller is a full participant, so forward progress never
+	// depends on a helper being scheduled.
+	p.grab(gen, job, chunk, rows, n)
+
+	p.mu.Lock()
+	for p.completed.Load() != int64(n) {
+		p.done.Wait()
+	}
+	p.busy = false
+	p.job = nil
+	p.slot.Signal()
+	p.mu.Unlock()
+}
+
+// helper is one persistent pool goroutine: park, run the published
+// job's chunks, park again. Helpers never exit; an idle pool holds
+// only parked goroutines and no timers.
+func (p *intraPool) helper() {
+	var last uint32
+	p.mu.Lock()
+	for {
+		for !p.busy || p.gen == last {
+			p.work.Wait()
+			poolWakes.Add(1)
+		}
+		last = p.gen
+		job, chunk, rows, nchunk := p.job, p.chunk, p.rows, p.nchunk
+		p.mu.Unlock()
+		p.grab(last, job, chunk, rows, nchunk)
+		p.mu.Lock()
+	}
+}
+
+// grab claims and executes chunks of generation gen until none
+// remain. All job geometry is passed by value: once the ticket's
+// generation moves on, this goroutine must touch nothing shared.
+func (p *intraPool) grab(gen uint32, job rowsJob, chunk, rows, nchunk int) {
+	for {
+		t := p.ticket.Load()
+		if uint32(t>>32) != gen {
+			return
+		}
+		i := int(uint32(t))
+		if i >= nchunk {
+			return
+		}
+		if !p.ticket.CompareAndSwap(t, t+1) {
+			continue
+		}
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		job.runRows(lo, hi)
+		if p.completed.Add(1) == int64(nchunk) {
+			// The submitter re-checks the count under mu before
+			// parking, so broadcasting under mu cannot lose the wake.
+			p.mu.Lock()
+			p.done.Broadcast()
+			p.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package edgetpu
+
+// raceEnabled reports whether this binary was built with the race
+// detector; see pool_race.go.
+const raceEnabled = false

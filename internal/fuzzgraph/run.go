@@ -14,6 +14,7 @@ import (
 // runCfg selects one execution configuration of a case.
 type runCfg struct {
 	workers    int
+	kthreads   int  // intra-op kernel worker width (0 = pin to 1: the serial baseline)
 	ref        bool // frozen ops_ref kernels instead of the optimized table
 	functional bool
 	fetchAll   bool // force host materialization of every node
@@ -196,6 +197,13 @@ func runCase(cs *Case, ins []*tensor.Matrix, rc runCfg) *outcome {
 	o.Functional = rc.functional
 	o.RefKernels = rc.ref
 	o.Fault = rc.fc
+	// The kernel-thread width is process-wide state, so every run pins
+	// it explicitly — a zero rc.kthreads means the serial baseline, not
+	// "whatever the previous run left behind".
+	o.KernelThreads = rc.kthreads
+	if o.KernelThreads == 0 {
+		o.KernelThreads = 1
+	}
 	ctx := core.NewContext(o)
 	defer ctx.Close()
 
